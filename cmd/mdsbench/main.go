@@ -1,0 +1,37 @@
+// Command mdsbench regenerates the paper's evaluation. Each -exp value
+// reproduces one figure of Section 4 (or an ablation of a Section 3.4.3
+// design choice, or one of this reproduction's extension experiments) and
+// prints the corresponding series.
+//
+//	mdsbench -list                      # Table 2 parameters per workload
+//	mdsbench -exp fig6                  # pruning rates, synthetic
+//	mdsbench -exp fig7                  # pruning rates, video
+//	mdsbench -exp fig8                  # solution interval, synthetic
+//	mdsbench -exp fig9                  # solution interval, video
+//	mdsbench -exp fig10                 # response-time ratio, both
+//	mdsbench -exp ablation-mcost        # Q_k+ε sweep (paper fixes 0.3)
+//	mdsbench -exp ablation-maxpts       # per-MBR point cap sweep
+//	mdsbench -exp ablation-fanout       # R*-tree fanout sweep
+//	mdsbench -exp ablation-dim          # dimensionality sweep
+//	mdsbench -exp noise                 # query-noise sensitivity
+//	mdsbench -exp iocost                # index page IO per query
+//	mdsbench -exp scalability           # corpus-size sweep
+//	mdsbench -exp all                   # figures 6-10
+//
+// -scale N shrinks the corpus and query count by N for quick runs; the
+// recorded EXPERIMENTS.md numbers use -scale 1 (the default).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.Bench(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mdsbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,25 @@
+// Command mdsgen generates sequence datasets (the paper's Table 2
+// corpora) and writes them in the binary or CSV format cmd/mdsquery reads.
+//
+// Usage:
+//
+//	mdsgen -kind fractal -count 1600 -o synthetic.mds
+//	mdsgen -kind video   -count 1408 -o video.mds
+//	mdsgen -kind video   -count 100  -o video.csv   # CSV by extension
+//	mdsgen -kind fractal -dump            # print one sequence (Figure 4)
+//	mdsgen -kind video   -dump            # print one sequence (Figure 5)
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.Gen(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mdsgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,104 @@
+// Stockseries shows the time-series special case (Section 1: "Identify
+// companies whose stock prices show similar movements"): 1-D price series
+// are embedded into multidimensional sequences with a sliding window plus
+// DFT dimensionality reduction, then searched like any other
+// multidimensional sequence. Run with:
+//
+//	go run ./examples/stockseries
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	mdseq "repro"
+	"repro/internal/transform"
+)
+
+const (
+	window  = 16 // sliding-window width w
+	dftDims = 3  // DFT magnitudes kept per window
+	days    = 500
+)
+
+func main() {
+	db, err := mdseq.Open(mdseq.Options{Dim: dftDims})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Synthesize a sector of correlated tickers plus independent ones.
+	rng := rand.New(rand.NewSource(1929))
+	sectorTrend := trend(rng, days)
+	prices := map[string][]float64{}
+	for i := 0; i < 6; i++ {
+		prices[fmt.Sprintf("SEC%d", i)] = followTrend(rng, sectorTrend, 0.15)
+	}
+	for i := 0; i < 24; i++ {
+		prices[fmt.Sprintf("IND%d", i)] = followTrend(rng, trend(rng, days), 0.15)
+	}
+
+	labels := map[uint32]string{}
+	for ticker, series := range prices {
+		seq, err := transform.SlidingWindowDFT(transform.Normalize(series), window, dftDims)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seq.Label = ticker
+		id, err := db.Add(seq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		labels[id] = ticker
+	}
+	fmt.Printf("indexed %d tickers (%d trading days each, w=%d, %d DFT dims)\n",
+		len(prices), days, window, dftDims)
+
+	// Query: the last quarter of SEC0's movements.
+	qSeries := transform.Normalize(prices["SEC0"])[days-90:]
+	query, err := transform.SlidingWindowDFT(qSeries, window, dftDims)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const eps = 0.03
+	matches, stats, err := db.Search(query, eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntickers moving like SEC0's last quarter (eps=%.2f, %d candidates):\n",
+		eps, stats.CandidatesDmbr)
+	sector, indep := 0, 0
+	for _, m := range matches {
+		fmt.Printf("  %-5s minDnorm=%.4f match windows=%v\n", m.Seq.Label, m.MinDnorm, m.Interval.String())
+		if len(m.Seq.Label) >= 3 && m.Seq.Label[:3] == "SEC" {
+			sector++
+		} else {
+			indep++
+		}
+	}
+	fmt.Printf("\n%d sector / %d independent tickers matched — correlated movements found\n", sector, indep)
+}
+
+// trend draws a smooth random log-price path.
+func trend(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	v, momentum := 0.0, 0.0
+	for i := range out {
+		momentum = 0.9*momentum + 0.1*(rng.Float64()-0.5)
+		v += momentum
+		out[i] = v
+	}
+	return out
+}
+
+// followTrend produces a series tracking a trend with idiosyncratic noise.
+func followTrend(rng *rand.Rand, t []float64, noise float64) []float64 {
+	out := make([]float64, len(t))
+	for i := range out {
+		out[i] = t[i] + noise*math.Sin(float64(i)/9+rng.Float64()) + noise*(rng.Float64()-0.5)
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+// Trajectories indexes 2-D vehicle paths (normalized GPS tracks) and
+// finds vehicles that drove a similar route segment — multidimensional
+// sequence search in a domain the paper's model covers but its evaluation
+// does not: each point is a (x, y) position, each sequence a trip. Run
+// with:
+//
+//	go run ./examples/trajectories
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	mdseq "repro"
+)
+
+func main() {
+	db, err := mdseq.Open(mdseq.Options{Dim: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	rng := rand.New(rand.NewSource(66))
+
+	// A small "road network": a few corridors vehicles tend to follow.
+	corridors := make([][]mdseq.Point, 4)
+	for i := range corridors {
+		corridors[i] = corridor(rng, 80+rng.Intn(60))
+	}
+
+	// Vehicles: each follows one corridor with personal noise and speed,
+	// plus some free-roaming vehicles.
+	byCorridor := map[int][]uint32{}
+	for v := 0; v < 40; v++ {
+		var trip *mdseq.Sequence
+		var c int
+		if v%4 == 3 {
+			c = -1
+			trip = &mdseq.Sequence{Label: fmt.Sprintf("veh-%02d(free)", v), Points: corridor(rng, 100)}
+		} else {
+			c = v % len(corridors)
+			trip = &mdseq.Sequence{
+				Label:  fmt.Sprintf("veh-%02d(corridor-%d)", v, c),
+				Points: followPath(rng, corridors[c], 0.015),
+			}
+		}
+		id, err := db.Add(trip)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if c >= 0 {
+			byCorridor[c] = append(byCorridor[c], id)
+		}
+	}
+	fmt.Printf("indexed %d trips as %d MBRs\n", db.Len(), db.NumMBRs())
+
+	// Query: a stretch of corridor 2.
+	qPts := followPath(rng, corridors[2], 0.01)[20:60]
+	query := &mdseq.Sequence{Label: "route-query", Points: qPts}
+	const eps = 0.05
+	matches, stats, err := db.Search(query, eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwho drove this %d-point stretch of corridor 2? (eps=%.2f, %d candidates)\n",
+		query.Len(), eps, stats.CandidatesDmbr)
+	hits, misses := 0, 0
+	onC2 := map[uint32]bool{}
+	for _, id := range byCorridor[2] {
+		onC2[id] = true
+	}
+	for _, m := range matches {
+		fmt.Printf("  %-22s matched at %v\n", m.Seq.Label, m.Interval.String())
+		if onC2[m.SeqID] {
+			hits++
+		} else {
+			misses++
+		}
+	}
+	fmt.Printf("\n%d of %d corridor-2 vehicles found, %d other matches\n",
+		hits, len(byCorridor[2]), misses)
+}
+
+// corridor generates a smooth 2-D path through the unit square.
+func corridor(rng *rand.Rand, n int) []mdseq.Point {
+	pts := make([]mdseq.Point, n)
+	x, y := rng.Float64(), rng.Float64()
+	heading := rng.Float64() * 2 * math.Pi
+	for i := range pts {
+		heading += (rng.Float64() - 0.5) * 0.4
+		x = clamp01(x + 0.012*math.Cos(heading))
+		y = clamp01(y + 0.012*math.Sin(heading))
+		pts[i] = mdseq.Point{x, y}
+	}
+	return pts
+}
+
+// followPath replays a path with per-point jitter (GPS noise + lane
+// variation).
+func followPath(rng *rand.Rand, path []mdseq.Point, noise float64) []mdseq.Point {
+	out := make([]mdseq.Point, len(path))
+	for i, p := range path {
+		out[i] = mdseq.Point{
+			clamp01(p[0] + noise*(rng.Float64()*2-1)),
+			clamp01(p[1] + noise*(rng.Float64()*2-1)),
+		}
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,145 @@
+package mdseq_test
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	mdseq "repro"
+)
+
+// TestFacadeLifecycle drives the full public surface: build, append,
+// remove, save, load, reattach, knn, parallel search, explain, DTW.
+func TestFacadeLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	db, err := mdseq.Open(mdseq.Options{Dim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(200))
+	seqs := make([]*mdseq.Sequence, 20)
+	for i := range seqs {
+		seqs[i] = walk(rng, 60+rng.Intn(60))
+		seqs[i].Label = "s" + string(rune('a'+i))
+	}
+	if _, err := db.AddAll(seqs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Streaming append.
+	tail := walk(rng, 30)
+	if err := db.AppendPoints(3, tail.Points); err != nil {
+		t.Fatal(err)
+	}
+	// Remove one.
+	if err := db.Remove(7); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 19 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+
+	// k-NN through the facade.
+	q := &mdseq.Sequence{Points: seqs[5].Points[10:35]}
+	nn, err := db.SearchKNN(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 3 || nn[0].SeqID != 5 || nn[0].Dist != 0 {
+		t.Fatalf("knn = %+v", nn)
+	}
+
+	// Parallel search identical to serial.
+	serial, _, err := db.Search(q, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := db.SearchParallel(q, 0.2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("serial %d vs parallel %d", len(serial), len(par))
+	}
+
+	// Explain agrees on the match count.
+	ex, err := db.Explain(q, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, matched := ex.Counts()
+	if matched != len(serial) {
+		t.Fatalf("explain matched %d, search %d", matched, len(serial))
+	}
+
+	// DTW re-ranking keeps the set.
+	ranked := mdseq.RefineDTW(q, serial, -1)
+	if len(ranked) != len(serial) {
+		t.Fatal("RefineDTW changed the result set size")
+	}
+
+	// Save, load, verify.
+	store := filepath.Join(dir, "store")
+	if err := mdseq.Save(db, store); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := mdseq.Load(store, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if loaded.Len() != 19 {
+		t.Fatalf("loaded Len = %d", loaded.Len())
+	}
+	m2, _, err := loaded.Search(q, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2) != len(serial) {
+		t.Fatalf("loaded search %d vs original %d", len(m2), len(serial))
+	}
+}
+
+// TestFacadeOpenExisting exercises the reattach path directly.
+func TestFacadeOpenExisting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "idx.db")
+	rng := rand.New(rand.NewSource(201))
+	seqs := make([]*mdseq.Sequence, 8)
+	for i := range seqs {
+		seqs[i] = walk(rng, 50)
+	}
+	db, err := mdseq.Open(mdseq.Options{Dim: 3, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AddAll(seqs); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := mdseq.OpenExisting(mdseq.Options{Dim: 3, Path: path}, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	q := &mdseq.Sequence{Points: seqs[2].Points[:20]}
+	matches, _, err := re.Search(q, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range matches {
+		if m.SeqID == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("reattached database missing sequence")
+	}
+}

@@ -1,0 +1,200 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+// Bench implements mdsbench: regenerate the paper's figures and ablations.
+func Bench(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mdsbench", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		exp   = fs.String("exp", "", "experiment: fig6|fig7|fig8|fig9|fig10|ablation-mcost|ablation-maxpts|ablation-fanout|ablation-dim|noise|iocost|scalability|all")
+		scale = fs.Int("scale", 1, "divide corpus and query count by this factor")
+		seed  = fs.Int64("seed", 0, "override the default RNG seed (0 = keep)")
+		list  = fs.Bool("list", false, "print the Table 2 configurations and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	syn := experiment.PaperSynthetic().Scaled(*scale)
+	vid := experiment.PaperVideo().Scaled(*scale)
+	if *seed != 0 {
+		syn.Seed, vid.Seed = *seed, *seed
+	}
+
+	if *list {
+		fmt.Fprintln(stdout, "Table 2. Experimental parameters")
+		fmt.Fprintln(stdout)
+		if err := experiment.WriteConfig(stdout, syn); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		return experiment.WriteConfig(stdout, vid)
+	}
+	if *exp == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -exp")
+	}
+
+	r := benchRunner{out: stdout}
+	switch *exp {
+	case "fig6":
+		return r.pruning(syn, "Figure 6. Pruning rate of the Dmbr and the Dnorm for synthetic data sets")
+	case "fig7":
+		return r.pruning(vid, "Figure 7. Pruning rate of the Dmbr and the Dnorm for real video data sets (synthetic shot-structured substitute)")
+	case "fig8":
+		return r.si(syn, "Figure 8. Efficiency of the solution interval for synthetic data sets")
+	case "fig9":
+		return r.si(vid, "Figure 9. Efficiency of the solution interval for video data sets (synthetic shot-structured substitute)")
+	case "fig10":
+		if err := r.timing(syn, "Figure 10a. Response time ratio vs sequential scan, synthetic"); err != nil {
+			return err
+		}
+		return r.timing(vid, "Figure 10b. Response time ratio vs sequential scan, video")
+	case "ablation-mcost":
+		rows, err := experiment.RunMCostAblation(syn, []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.6, 0.9}, 0.2)
+		if err != nil {
+			return err
+		}
+		return experiment.WriteMCostReport(stdout,
+			"Ablation. Partitioning constant Q_k+eps (Section 3.4.3 adopts 0.3) at eps=0.20", rows)
+	case "ablation-maxpts":
+		rows, err := experiment.RunMaxPointsAblation(syn, []int{8, 16, 32, 64, 128, 256}, 0.2)
+		if err != nil {
+			return err
+		}
+		return experiment.WriteMaxPointsReport(stdout, "Ablation. Max points per MBR at eps=0.20", rows)
+	case "ablation-fanout":
+		rows, err := experiment.RunFanoutAblation(syn, []int{8, 16, 32, 64}, 0.2)
+		if err != nil {
+			return err
+		}
+		return experiment.WriteFanoutReport(stdout, "Ablation. R*-tree fanout at eps=0.20", rows)
+	case "ablation-dim":
+		rows, err := experiment.RunDimAblation(syn, []int{1, 2, 3, 4, 6, 8}, 0.2)
+		if err != nil {
+			return err
+		}
+		return experiment.WriteDimReport(stdout,
+			"Ablation. Dimensionality sweep (synthetic, eps scaled by sqrt(dim/3))", rows)
+	case "noise":
+		rows, err := experiment.RunNoiseSweep(vid, []float64{0, 0.01, 0.02, 0.05, 0.1}, 0.15)
+		if err != nil {
+			return err
+		}
+		return experiment.WriteNoiseReport(stdout, "Extension. Query-noise sensitivity (video, eps=0.15)", rows)
+	case "iocost":
+		dir, err := os.MkdirTemp("", "mdsbench-iocost")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		rows, err := experiment.RunIOCost(syn, dir)
+		if err != nil {
+			return err
+		}
+		return experiment.WriteIOReport(stdout, "Extension. Index page IO per query (synthetic, 64-page pool)", rows)
+	case "scalability":
+		rows, err := experiment.RunScalability(syn, []int{100, 200, 400, 800, 1600}, 0.2)
+		if err != nil {
+			return err
+		}
+		return experiment.WriteScalabilityReport(stdout,
+			"Extension. Scalability with database size (synthetic, eps=0.20)", rows)
+	case "all":
+		steps := []func() error{
+			func() error {
+				return r.pruning(syn, "Figure 6. Pruning rate of the Dmbr and the Dnorm for synthetic data sets")
+			},
+			func() error {
+				return r.pruning(vid, "Figure 7. Pruning rate of the Dmbr and the Dnorm for real video data sets (synthetic shot-structured substitute)")
+			},
+			func() error {
+				return r.si(syn, "Figure 8. Efficiency of the solution interval for synthetic data sets")
+			},
+			func() error {
+				return r.si(vid, "Figure 9. Efficiency of the solution interval for video data sets (synthetic shot-structured substitute)")
+			},
+			func() error {
+				return r.timing(syn, "Figure 10a. Response time ratio vs sequential scan, synthetic")
+			},
+			func() error {
+				return r.timing(vid, "Figure 10b. Response time ratio vs sequential scan, video")
+			},
+		}
+		for i, step := range steps {
+			if i > 0 {
+				fmt.Fprintln(stdout)
+			}
+			if err := step(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+}
+
+type benchRunner struct {
+	out io.Writer
+}
+
+func (r benchRunner) build(cfg experiment.Config) (*experiment.Bench, error) {
+	t0 := time.Now()
+	b, err := experiment.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(r.out, "# workload %v: %d sequences, %d MBRs indexed, %d queries, setup %v\n",
+		cfg.Workload, b.DB.Len(), b.DB.NumMBRs(), len(b.Queries),
+		time.Since(t0).Round(time.Millisecond))
+	return b, nil
+}
+
+func (r benchRunner) pruning(cfg experiment.Config, title string) error {
+	b, err := r.build(cfg)
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	rows, err := experiment.RunPruning(b)
+	if err != nil {
+		return err
+	}
+	return experiment.WritePruningReport(r.out, title, rows)
+}
+
+func (r benchRunner) si(cfg experiment.Config, title string) error {
+	b, err := r.build(cfg)
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	rows, err := experiment.RunSolutionInterval(b)
+	if err != nil {
+		return err
+	}
+	return experiment.WriteSIReport(r.out, title, rows)
+}
+
+func (r benchRunner) timing(cfg experiment.Config, title string) error {
+	b, err := r.build(cfg)
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	rows, err := experiment.RunResponseTime(b)
+	if err != nil {
+		return err
+	}
+	return experiment.WriteTimeReport(r.out, title, rows)
+}

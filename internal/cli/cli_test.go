@@ -1,0 +1,232 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenAndQueryBinary(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "d.mds")
+	var out strings.Builder
+	err := Gen([]string{"-kind", "fractal", "-count", "20", "-maxlen", "120", "-o", data}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote 20 fractal sequences") {
+		t.Errorf("gen output: %q", out.String())
+	}
+
+	out.Reset()
+	err = Query([]string{"-data", data, "-query", "3", "-from", "5", "-len", "30",
+		"-eps", "0.15", "-baseline", "-knn", "2", "-dtw"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"indexed 20 sequences",
+		"phases: partition",
+		"re-ranked by DTW",
+		"nearest sequences by exact distance",
+		"sequential scan:",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("query output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "false dismissal") {
+		t.Errorf("query reported a false dismissal:\n%s", s)
+	}
+	// The query's own source must appear as a zero-distance match.
+	if !strings.Contains(s, "#3 fractal-0003") {
+		t.Errorf("source sequence missing from output:\n%s", s)
+	}
+}
+
+func TestGenAndQueryCSV(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "d.csv")
+	var out strings.Builder
+	if err := Gen([]string{"-kind", "video", "-count", "8", "-maxlen", "100", "-o", data}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := Query([]string{"-data", data, "-query", "1", "-len", "20", "-eps", "0.1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "indexed 8 sequences") {
+		t.Errorf("csv query output: %q", out.String())
+	}
+}
+
+func TestGenDump(t *testing.T) {
+	var out strings.Builder
+	if err := Gen([]string{"-kind", "fractal", "-maxlen", "64", "-dump"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# fractal sample sequence, 32 points, dim 3") {
+		t.Errorf("dump header missing: %q", out.String()[:80])
+	}
+	if got := strings.Count(out.String(), "\n"); got != 33 { // header + 32 rows
+		t.Errorf("dump has %d lines", got)
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	var out strings.Builder
+	if err := Gen([]string{"-kind", "nope", "-dump"}, &out); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := Gen([]string{"-kind", "fractal"}, &out); err == nil {
+		t.Error("missing -o accepted")
+	}
+	if err := Gen([]string{"-bogusflag"}, &out); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	var out strings.Builder
+	if err := Query([]string{}, &out); err == nil {
+		t.Error("missing -data accepted")
+	}
+	if err := Query([]string{"-data", "/nonexistent.mds"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	data := filepath.Join(dir, "d.mds")
+	if err := Gen([]string{"-kind", "fractal", "-count", "3", "-maxlen", "80", "-o", data}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := Query([]string{"-data", data, "-query", "99"}, &out); err == nil {
+		t.Error("out-of-range query index accepted")
+	}
+	if err := Query([]string{"-data", data, "-query", "0", "-from", "9999"}, &out); err == nil {
+		t.Error("out-of-range offset accepted")
+	}
+}
+
+func TestBenchList(t *testing.T) {
+	var out strings.Builder
+	if err := Bench([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "1600") || !strings.Contains(s, "1408") {
+		t.Errorf("Table 2 sizes missing:\n%s", s)
+	}
+}
+
+func TestBenchFigures(t *testing.T) {
+	// One pruning figure and one SI figure at a heavy scale-down: the full
+	// pipeline (generate, index, ground truth, measure, report) under test.
+	var out strings.Builder
+	if err := Bench([]string{"-exp", "fig6", "-scale", "40"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "PR(Dnorm)") {
+		t.Errorf("fig6 report malformed:\n%s", out.String())
+	}
+	out.Reset()
+	if err := Bench([]string{"-exp", "fig9", "-scale", "40"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Recall") {
+		t.Errorf("fig9 report malformed:\n%s", out.String())
+	}
+}
+
+func TestBenchErrors(t *testing.T) {
+	var out strings.Builder
+	if err := Bench([]string{}, &out); err == nil {
+		t.Error("missing -exp accepted")
+	}
+	if err := Bench([]string{"-exp", "nope"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestQueryExplain(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "d.mds")
+	var out strings.Builder
+	if err := Gen([]string{"-kind", "fractal", "-count", "6", "-maxlen", "80", "-o", data}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := Query([]string{"-data", data, "-query", "2", "-len", "20", "-eps", "0.1", "-explain"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "pruned by Dmbr") || !strings.Contains(s, "minDnorm") {
+		t.Errorf("explain output missing:\n%s", s)
+	}
+}
+
+func TestBenchAblationsAndExtensionsTinyScale(t *testing.T) {
+	// Exercise every experiment dispatch path at 1/80 scale (20 sequences,
+	// 1 query) — full pipeline smoke coverage, seconds not minutes.
+	cases := []struct {
+		exp  string
+		want string
+	}{
+		{"fig8", "Pruning Rate"},
+		{"fig10", "ratio (scan/proposed)"},
+		{"ablation-mcost", "Qk+eps"},
+		{"ablation-maxpts", "max pts/MBR"},
+		{"ablation-fanout", "fanout"},
+		{"ablation-dim", "dim"},
+		{"noise", "noise"},
+		{"iocost", "fetches/query"},
+	}
+	for _, c := range cases {
+		var out strings.Builder
+		if err := Bench([]string{"-exp", c.exp, "-scale", "80", "-seed", "7"}, &out); err != nil {
+			t.Fatalf("%s: %v", c.exp, err)
+		}
+		if !strings.Contains(out.String(), c.want) {
+			t.Errorf("%s report missing %q:\n%s", c.exp, c.want, out.String())
+		}
+	}
+}
+
+func TestBenchScalabilityTiny(t *testing.T) {
+	t.Skip("scalability sweeps fixed absolute sizes (100-1600); covered by experiment tests")
+}
+
+func TestGenSeedsAreReproducible(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.mds"), filepath.Join(dir, "b.mds")
+	var out strings.Builder
+	if err := Gen([]string{"-kind", "fractal", "-count", "5", "-maxlen", "64", "-seed", "3", "-o", a}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := Gen([]string{"-kind", "fractal", "-count", "5", "-maxlen", "64", "-seed", "3", "-o", b}, &out); err != nil {
+		t.Fatal(err)
+	}
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(da, db) {
+		t.Error("same seed produced different datasets")
+	}
+}
+
+func TestGenVideoDump(t *testing.T) {
+	var out strings.Builder
+	if err := Gen([]string{"-kind", "video", "-maxlen", "48", "-dump"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# video sample sequence, 24 points, dim 3") {
+		t.Errorf("video dump header: %q", out.String()[:60])
+	}
+}

@@ -1,0 +1,137 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/seqio"
+)
+
+// Query implements mdsquery: load a dataset, index it, run one query.
+func Query(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mdsquery", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		dataPath = fs.String("data", "", "dataset file from mdsgen (required); .csv reads CSV")
+		queryIdx = fs.Int("query", 0, "index of the sequence to draw the query from")
+		from     = fs.Int("from", 0, "query start offset within that sequence")
+		qlen     = fs.Int("len", 0, "query length (0 = to the end)")
+		eps      = fs.Float64("eps", 0.1, "similarity threshold ε")
+		baseline = fs.Bool("baseline", false, "also run the sequential-scan baseline and compare")
+		topK     = fs.Int("top", 10, "print at most this many matches")
+		knn      = fs.Int("knn", 0, "additionally report the k nearest sequences by exact distance")
+		dtw      = fs.Bool("dtw", false, "re-rank matches by dynamic time warping distance")
+		explain  = fs.Bool("explain", false, "print per-sequence pruning decisions")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataPath == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -data")
+	}
+
+	read := seqio.ReadFile
+	if strings.HasSuffix(*dataPath, ".csv") {
+		read = seqio.ReadCSVFile
+	}
+	seqs, err := read(*dataPath)
+	if err != nil {
+		return err
+	}
+	if *queryIdx < 0 || *queryIdx >= len(seqs) {
+		return fmt.Errorf("query index %d outside dataset of %d sequences", *queryIdx, len(seqs))
+	}
+	src := seqs[*queryIdx]
+	if *from < 0 || *from >= src.Len() {
+		return fmt.Errorf("offset %d outside sequence of %d points", *from, src.Len())
+	}
+	end := src.Len()
+	if *qlen > 0 && *from+*qlen < end {
+		end = *from + *qlen
+	}
+	q := &core.Sequence{Label: "query", Points: src.Points[*from:end]}
+
+	db, err := core.NewDatabase(core.Options{Dim: seqs[0].Dim()})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	t0 := time.Now()
+	if _, err := db.AddAll(seqs); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "indexed %d sequences (%d MBRs, R*-tree height %d) in %v\n",
+		db.Len(), db.NumMBRs(), db.IndexHeight(), time.Since(t0).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "query: %d points from %s[%d:%d], eps=%.3f\n", q.Len(), src.Label, *from, end, *eps)
+
+	matches, stats, err := db.Search(q, *eps)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "phases: partition %v (%d MBRs) | Dmbr %v (%d candidates) | Dnorm %v (%d matches)\n",
+		stats.Phase1.Round(time.Microsecond), stats.QueryMBRs,
+		stats.Phase2.Round(time.Microsecond), stats.CandidatesDmbr,
+		stats.Phase3.Round(time.Microsecond), stats.MatchesDnorm)
+
+	if *dtw {
+		matches = core.RefineDTW(q, matches, -1)
+		fmt.Fprintln(stdout, "(matches re-ranked by DTW)")
+	}
+	for i, m := range matches {
+		if i >= *topK {
+			fmt.Fprintf(stdout, "... and %d more\n", len(matches)-*topK)
+			break
+		}
+		fmt.Fprintf(stdout, "  #%d %-14s minDnorm=%.4f  intervals=%v\n",
+			m.SeqID, m.Seq.Label, m.MinDnorm, m.Interval.String())
+	}
+
+	if *knn > 0 {
+		nn, err := db.SearchKNN(q, *knn)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\n%d nearest sequences by exact distance D:\n", len(nn))
+		for _, r := range nn {
+			fmt.Fprintf(stdout, "  #%d %-14s D=%.4f at offset %d\n", r.SeqID, r.Seq.Label, r.Dist, r.Offset)
+		}
+	}
+
+	if *explain {
+		ex, err := db.Explain(q, *eps)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		if _, err := ex.WriteTo(stdout); err != nil {
+			return err
+		}
+	}
+
+	if *baseline {
+		t1 := time.Now()
+		exact, err := db.SequentialSearch(q, *eps)
+		if err != nil {
+			return err
+		}
+		scanTime := time.Since(t1)
+		fmt.Fprintf(stdout, "sequential scan: %d relevant in %v (index search took %v; %.1fx)\n",
+			len(exact), scanTime.Round(time.Microsecond), stats.Total().Round(time.Microsecond),
+			float64(scanTime)/float64(stats.Total()))
+		inMatches := make(map[uint32]bool, len(matches))
+		for _, m := range matches {
+			inMatches[m.SeqID] = true
+		}
+		for _, r := range exact {
+			if !inMatches[r.SeqID] {
+				fmt.Fprintf(stdout, "  WARNING: false dismissal of sequence %d (D=%.4f)\n", r.SeqID, r.Dist)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// AppendPoints extends a stored sequence with new points — streaming
+// ingestion for live feeds (a camera appending frames). Only the tail is
+// repartitioned: the greedy MCOST rule restarts its state at every MBR
+// boundary, so re-running it from the start of the current last MBR yields
+// exactly the segmentation a from-scratch partition of the whole extended
+// sequence would produce (property verified by TestAppendEquivalence).
+// Index maintenance is therefore limited to replacing the last MBR's entry
+// and inserting the new tail MBRs.
+func (db *Database) AppendPoints(id uint32, pts []geom.Point) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.pg == nil {
+		return errors.New("core: database closed")
+	}
+	if int(id) >= len(db.seqs) || db.seqs[id] == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownSequence, id)
+	}
+	g := db.seqs[id]
+	dim := g.Seq.Dim()
+	for i, p := range pts {
+		if len(p) != dim {
+			return fmt.Errorf("core: appended point %d has dim %d, want %d: %w",
+				i, len(p), dim, geom.ErrDimensionMismatch)
+		}
+	}
+
+	// Remove the last MBR's index entry; its range will be re-covered by
+	// the repartitioned tail.
+	lastIdx := len(g.MBRs) - 1
+	last := g.MBRs[lastIdx]
+	if err := db.tree.Delete(last.Rect, rtree.PackRef(id, uint32(lastIdx))); err != nil {
+		return fmt.Errorf("core: appending to sequence %d: %w", id, err)
+	}
+
+	// Extend the point storage and repartition from the last boundary.
+	g.Seq.Points = append(g.Seq.Points, pts...)
+	tail := &Sequence{Points: g.Seq.Points[last.Start:]}
+	tailMBRs, err := Partition(tail, db.opts.Partition)
+	if err != nil {
+		// Restore: re-insert the removed entry and trim the points.
+		g.Seq.Points = g.Seq.Points[:len(g.Seq.Points)-len(pts)]
+		if rerr := db.tree.Insert(last.Rect, rtree.PackRef(id, uint32(lastIdx))); rerr != nil {
+			return fmt.Errorf("core: append failed (%v) and index restore failed: %w", err, rerr)
+		}
+		return err
+	}
+
+	g.MBRs = g.MBRs[:lastIdx]
+	for _, m := range tailMBRs {
+		mbr := MBRInfo{Rect: m.Rect, Start: m.Start + last.Start, End: m.End + last.Start}
+		j := len(g.MBRs)
+		if err := db.tree.Insert(mbr.Rect, rtree.PackRef(id, uint32(j))); err != nil {
+			return fmt.Errorf("core: appending to sequence %d, MBR %d: %w", id, j, err)
+		}
+		g.MBRs = append(g.MBRs, mbr)
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestAppendEquivalence is the correctness heart of AppendPoints: a
+// sequence grown by repeated appends must have exactly the partitioning a
+// from-scratch partition of the final points produces, and its index
+// entries must match.
+func TestAppendEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	cfg := DefaultPartitionConfig()
+	for trial := 0; trial < 20; trial++ {
+		full := randWalkSeq(rng, 100+rng.Intn(200), 3)
+
+		db := newTestDB(t, 3)
+		initial := 10 + rng.Intn(40)
+		grown := &Sequence{Label: "grown", Points: clonePts(full.Points[:initial])}
+		id, err := db.Add(grown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Append in random-sized chunks.
+		for off := initial; off < full.Len(); {
+			chunk := 1 + rng.Intn(30)
+			if off+chunk > full.Len() {
+				chunk = full.Len() - off
+			}
+			if err := db.AppendPoints(id, clonePts(full.Points[off:off+chunk])); err != nil {
+				t.Fatal(err)
+			}
+			off += chunk
+		}
+
+		g := db.Segmented(id)
+		if g.Seq.Len() != full.Len() {
+			t.Fatalf("trial %d: grown to %d points, want %d", trial, g.Seq.Len(), full.Len())
+		}
+		want, err := Partition(full, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.MBRs) != len(want) {
+			t.Fatalf("trial %d: %d MBRs after appends, from-scratch %d", trial, len(g.MBRs), len(want))
+		}
+		for j := range want {
+			if g.MBRs[j].Start != want[j].Start || g.MBRs[j].End != want[j].End ||
+				!g.MBRs[j].Rect.Equal(want[j].Rect) {
+				t.Fatalf("trial %d: MBR %d differs: %+v vs %+v", trial, j, g.MBRs[j], want[j])
+			}
+		}
+		if err := g.CheckPartition(cfg); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if db.NumMBRs() != len(want) {
+			t.Fatalf("trial %d: index holds %d entries, want %d", trial, db.NumMBRs(), len(want))
+		}
+	}
+}
+
+func clonePts(pts []geom.Point) []geom.Point {
+	out := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+func TestAppendSearchable(t *testing.T) {
+	db := newTestDB(t, 3)
+	rng := rand.New(rand.NewSource(111))
+	s := randWalkSeq(rng, 40, 3)
+	id, err := db.Add(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := randWalkSeq(rng, 50, 3)
+	if err := db.AppendPoints(id, tail.Points); err != nil {
+		t.Fatal(err)
+	}
+	// A query drawn from the appended tail must be found.
+	q := &Sequence{Points: tail.Points[10:35]}
+	matches, _, err := db.Search(q, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range matches {
+		if m.SeqID == id {
+			found = true
+			if !m.Interval.Contains(60) {
+				t.Errorf("interval %v misses the appended region", m.Interval.Ranges())
+			}
+		}
+	}
+	if !found {
+		t.Fatal("appended data not searchable")
+	}
+	// Exact scan agrees.
+	exact, err := db.SequentialSearch(q, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact) != 1 {
+		t.Fatalf("scan found %d", len(exact))
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	db := newTestDB(t, 3)
+	rng := rand.New(rand.NewSource(112))
+	s := randWalkSeq(rng, 30, 3)
+	id, _ := db.Add(s)
+	if err := db.AppendPoints(id, nil); err != nil {
+		t.Errorf("empty append = %v", err)
+	}
+	if err := db.AppendPoints(99, []geom.Point{{0.1, 0.2, 0.3}}); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if err := db.AppendPoints(id, []geom.Point{{0.1}}); err == nil {
+		t.Error("wrong-dim point accepted")
+	}
+	// Failed append must leave the database searchable and consistent.
+	g := db.Segmented(id)
+	if err := g.CheckPartition(db.PartitionConfig()); err != nil {
+		t.Fatalf("partition damaged by failed append: %v", err)
+	}
+	if db.NumMBRs() != len(g.MBRs) {
+		t.Errorf("index entries %d != MBRs %d", db.NumMBRs(), len(g.MBRs))
+	}
+}
+
+func TestAppendToRemovedSequence(t *testing.T) {
+	db := newTestDB(t, 3)
+	rng := rand.New(rand.NewSource(113))
+	s := randWalkSeq(rng, 30, 3)
+	id, _ := db.Add(s)
+	db.Remove(id)
+	if err := db.AppendPoints(id, []geom.Point{{0.1, 0.2, 0.3}}); err == nil {
+		t.Error("append to removed sequence accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// AddAll stores a whole corpus at once. On an empty database it partitions
+// the sequences in parallel and bulk-loads the R*-tree with STR packing —
+// much faster and more compact than repeated Add; on a non-empty database
+// it falls back to sequential Adds. Returned ids are dense and in input
+// order. As with Add, the database keeps references to the sequences.
+func (db *Database) AddAll(seqs []*Sequence) ([]uint32, error) {
+	if len(seqs) == 0 {
+		return nil, nil
+	}
+	for i, s := range seqs {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("core: sequence %d: %w", i, err)
+		}
+		if s.Dim() != db.opts.Dim {
+			return nil, fmt.Errorf("core: sequence %d dim %d, database dim %d: %w",
+				i, s.Dim(), db.opts.Dim, geom.ErrDimensionMismatch)
+		}
+	}
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.pg == nil {
+		return nil, errors.New("core: database closed")
+	}
+
+	if len(db.seqs) > 0 {
+		// Bulk path needs an empty tree; degrade gracefully.
+		ids := make([]uint32, len(seqs))
+		for i, s := range seqs {
+			g, err := NewSegmented(s, db.opts.Partition)
+			if err != nil {
+				return nil, err
+			}
+			id := uint32(len(db.seqs))
+			s.ID = id
+			for j, m := range g.MBRs {
+				if err := db.tree.Insert(m.Rect, rtree.PackRef(id, uint32(j))); err != nil {
+					return nil, err
+				}
+			}
+			db.seqs = append(db.seqs, g)
+			db.live++
+			ids[i] = id
+		}
+		return ids, nil
+	}
+
+	// Partition in parallel; partitioning is CPU-bound and independent.
+	segs := make([]*Segmented, len(seqs))
+	errs := make([]error, len(seqs))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				segs[i], errs[i] = NewSegmented(seqs[i], db.opts.Partition)
+			}
+		}()
+	}
+	for i := range seqs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: partitioning sequence %d: %w", i, err)
+		}
+	}
+
+	var items []rtree.Item
+	ids := make([]uint32, len(seqs))
+	for i, g := range segs {
+		id := uint32(i)
+		seqs[i].ID = id
+		ids[i] = id
+		for j, m := range g.MBRs {
+			items = append(items, rtree.Item{Rect: m.Rect, Ref: rtree.PackRef(id, uint32(j))})
+		}
+	}
+	if err := db.tree.BulkLoad(items); err != nil {
+		return nil, err
+	}
+	db.seqs = segs
+	db.live = len(segs)
+	return ids, nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAddAllEmptyDatabaseBulkPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	seqs := make([]*Sequence, 60)
+	for i := range seqs {
+		seqs[i] = randWalkSeq(rng, 40+rng.Intn(100), 3)
+	}
+
+	bulkDB := newTestDB(t, 3)
+	ids, err := bulkDB.AddAll(seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 60 || bulkDB.Len() != 60 {
+		t.Fatalf("ids=%d Len=%d", len(ids), bulkDB.Len())
+	}
+	for i, id := range ids {
+		if id != uint32(i) {
+			t.Fatalf("ids not dense: %v", ids[:i+1])
+		}
+		if bulkDB.Segmented(id) == nil {
+			t.Fatalf("sequence %d not retrievable", id)
+		}
+	}
+
+	// Identical search results to the incremental path.
+	incDB := newTestDB(t, 3)
+	for _, s := range seqs {
+		cp := s.Clone()
+		if _, err := incDB.Add(cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		q := randWalkSeq(rng, 20+rng.Intn(40), 3)
+		eps := 0.1 + 0.1*float64(trial%4)
+		a, _, err := bulkDB.Search(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := incDB.Search(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: bulk %d vs incremental %d matches", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].SeqID != b[i].SeqID {
+				t.Fatalf("trial %d: id mismatch at rank %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestAddAllNonEmptyFallsBack(t *testing.T) {
+	db := newTestDB(t, 3)
+	rng := rand.New(rand.NewSource(81))
+	first := randWalkSeq(rng, 50, 3)
+	if _, err := db.Add(first); err != nil {
+		t.Fatal(err)
+	}
+	more := []*Sequence{randWalkSeq(rng, 60, 3), randWalkSeq(rng, 70, 3)}
+	ids, err := db.AddAll(more)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if db.Len() != 3 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	// All three findable.
+	for i, s := range append([]*Sequence{first}, more...) {
+		q := &Sequence{Points: s.Points[:20]}
+		matches, _, err := db.Search(q, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, m := range matches {
+			if m.SeqID == uint32(i) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("sequence %d not found after fallback AddAll", i)
+		}
+	}
+}
+
+func TestAddAllValidation(t *testing.T) {
+	db := newTestDB(t, 3)
+	if ids, err := db.AddAll(nil); err != nil || ids != nil {
+		t.Errorf("empty AddAll: %v %v", ids, err)
+	}
+	if _, err := db.AddAll([]*Sequence{{}}); err == nil {
+		t.Error("invalid sequence accepted")
+	}
+	if _, err := db.AddAll([]*Sequence{seqFromCoords(1, 2)}); err == nil {
+		t.Error("wrong-dim sequence accepted")
+	}
+	if db.Len() != 0 {
+		t.Error("failed AddAll mutated the database")
+	}
+}
+
+func TestAddAllNoFalseDismissals(t *testing.T) {
+	db := newTestDB(t, 3)
+	rng := rand.New(rand.NewSource(82))
+	seqs := make([]*Sequence, 40)
+	for i := range seqs {
+		seqs[i] = randWalkSeq(rng, 60+rng.Intn(80), 3)
+	}
+	if _, err := db.AddAll(seqs); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 8; trial++ {
+		q := randWalkSeq(rng, 25+rng.Intn(40), 3)
+		eps := 0.1 + 0.1*float64(trial%4)
+		exact, err := db.SequentialSearch(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matches, _, err := db.Search(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[uint32]bool)
+		for _, m := range matches {
+			got[m.SeqID] = true
+		}
+		for _, r := range exact {
+			if !got[r.SeqID] {
+				t.Fatalf("bulk-loaded index dismissed sequence %d (D=%g, eps=%g)", r.SeqID, r.Dist, eps)
+			}
+		}
+	}
+}

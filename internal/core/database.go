@@ -1,0 +1,459 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/pager"
+	"repro/internal/rtree"
+)
+
+// Options configures a Database.
+type Options struct {
+	// Dim is the dimensionality of all stored sequences. Required.
+	Dim int
+	// Partition tunes the MCOST segmentation (zero value → paper defaults).
+	Partition PartitionConfig
+	// PageSize and PoolPages configure the index's page store
+	// (0 → pager defaults).
+	PageSize, PoolPages int
+	// Path backs the index with a file; empty runs in memory.
+	Path string
+	// WAL enables write-ahead logging on the index file (requires Path):
+	// every Add/Remove becomes crash-atomic and reopening after a crash
+	// replays any committed-but-unapplied index updates.
+	WAL bool
+	// MaxEntries overrides the R*-tree fanout (0 → derive from page size).
+	MaxEntries int
+	// Eviction selects the buffer-pool replacement policy.
+	Eviction pager.Eviction
+}
+
+// Database stores segmented multidimensional sequences and answers
+// similarity queries with the paper's three-phase algorithm over an
+// R*-tree of partition MBRs.
+type Database struct {
+	mu   sync.RWMutex
+	opts Options
+	pg   *pager.Pager
+	tree *rtree.Tree
+	seqs []*Segmented // seqs[id] — ids are dense, assigned by Add; nil = removed
+	live int          // number of non-nil entries in seqs
+}
+
+// ErrUnknownSequence is returned by Remove for absent or already-removed
+// ids.
+var ErrUnknownSequence = errors.New("core: unknown sequence id")
+
+// NewDatabase creates an empty database.
+func NewDatabase(opts Options) (*Database, error) {
+	if opts.Dim < 1 {
+		return nil, fmt.Errorf("core: invalid dimension %d", opts.Dim)
+	}
+	if opts.Partition == (PartitionConfig{}) {
+		opts.Partition = DefaultPartitionConfig()
+	}
+	if err := opts.Partition.validate(); err != nil {
+		return nil, err
+	}
+	pg, err := pager.Open(pager.Options{
+		PageSize:  opts.PageSize,
+		PoolPages: opts.PoolPages,
+		Path:      opts.Path,
+		WAL:       opts.WAL,
+		Eviction:  opts.Eviction,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tree, err := rtree.New(rtree.Options{Dim: opts.Dim, Pager: pg, MaxEntries: opts.MaxEntries})
+	if err != nil {
+		pg.Close()
+		return nil, err
+	}
+	return &Database{opts: opts, pg: pg, tree: tree}, nil
+}
+
+// OpenDatabase reattaches to an existing index file created by a database
+// with the same options, restoring the given sequences (in their original
+// Add order). Partitioning is deterministic, so each sequence's MBRs are
+// recomputed rather than stored; the index is validated against them
+// (total entry count must match) instead of being rebuilt. Options.Path is
+// required and must point at the previously flushed index.
+func OpenDatabase(opts Options, seqs []*Sequence) (*Database, error) {
+	if opts.Dim < 1 {
+		return nil, fmt.Errorf("core: invalid dimension %d", opts.Dim)
+	}
+	if opts.Path == "" {
+		return nil, errors.New("core: OpenDatabase requires Options.Path")
+	}
+	if opts.Partition == (PartitionConfig{}) {
+		opts.Partition = DefaultPartitionConfig()
+	}
+	if err := opts.Partition.validate(); err != nil {
+		return nil, err
+	}
+	pg, err := pager.Open(pager.Options{
+		PageSize:  opts.PageSize,
+		PoolPages: opts.PoolPages,
+		Path:      opts.Path,
+		WAL:       opts.WAL,
+		Eviction:  opts.Eviction,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tree, err := rtree.Open(rtree.Options{Pager: pg, MaxEntries: opts.MaxEntries})
+	if err != nil {
+		pg.Close()
+		return nil, err
+	}
+	if tree.Dim() != opts.Dim {
+		pg.Close()
+		return nil, fmt.Errorf("core: index dim %d, options dim %d", tree.Dim(), opts.Dim)
+	}
+	db := &Database{opts: opts, pg: pg, tree: tree}
+	total := 0
+	for i, s := range seqs {
+		if err := s.Validate(); err != nil {
+			pg.Close()
+			return nil, fmt.Errorf("core: sequence %d: %w", i, err)
+		}
+		if s.Dim() != opts.Dim {
+			pg.Close()
+			return nil, fmt.Errorf("core: sequence %d dim %d, want %d", i, s.Dim(), opts.Dim)
+		}
+		g, err := NewSegmented(s, opts.Partition)
+		if err != nil {
+			pg.Close()
+			return nil, err
+		}
+		s.ID = uint32(i)
+		db.seqs = append(db.seqs, g)
+		db.live++
+		total += len(g.MBRs)
+	}
+	if total != tree.Len() {
+		pg.Close()
+		return nil, fmt.Errorf("core: index holds %d entries but sequences partition into %d (stale index or different partition config?)",
+			tree.Len(), total)
+	}
+	return db, nil
+}
+
+// Flush persists all dirty index pages and metadata to the backing file
+// (a no-op for in-memory databases). After a Flush, OpenDatabase can
+// reattach to the file.
+func (db *Database) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.pg == nil {
+		return errors.New("core: database closed")
+	}
+	return db.tree.Flush()
+}
+
+// Close releases the index storage.
+func (db *Database) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.pg == nil {
+		return nil
+	}
+	err := db.tree.Flush()
+	if cerr := db.pg.Close(); err == nil {
+		err = cerr
+	}
+	db.pg = nil
+	return err
+}
+
+// Add partitions the sequence, indexes its MBRs, and returns the assigned
+// sequence id. The database keeps a reference to s; callers must not
+// mutate it afterwards.
+func (db *Database) Add(s *Sequence) (uint32, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if s.Dim() != db.opts.Dim {
+		return 0, fmt.Errorf("core: sequence dim %d, database dim %d: %w",
+			s.Dim(), db.opts.Dim, geom.ErrDimensionMismatch)
+	}
+	g, err := NewSegmented(s, db.opts.Partition)
+	if err != nil {
+		return 0, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.pg == nil {
+		return 0, errors.New("core: database closed")
+	}
+	id := uint32(len(db.seqs))
+	s.ID = id
+	for j, m := range g.MBRs {
+		if err := db.tree.Insert(m.Rect, rtree.PackRef(id, uint32(j))); err != nil {
+			return 0, err
+		}
+	}
+	db.seqs = append(db.seqs, g)
+	db.live++
+	return id, nil
+}
+
+// Remove deletes a sequence and all its index entries. The id is not
+// reused; looking it up afterwards yields nil.
+func (db *Database) Remove(id uint32) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.pg == nil {
+		return errors.New("core: database closed")
+	}
+	if int(id) >= len(db.seqs) || db.seqs[id] == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownSequence, id)
+	}
+	g := db.seqs[id]
+	for j, m := range g.MBRs {
+		if err := db.tree.Delete(m.Rect, rtree.PackRef(id, uint32(j))); err != nil {
+			return fmt.Errorf("core: removing sequence %d, MBR %d: %w", id, j, err)
+		}
+	}
+	db.seqs[id] = nil
+	db.live--
+	return nil
+}
+
+// Len returns the number of stored (non-removed) sequences.
+func (db *Database) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.live
+}
+
+// NumMBRs returns the total number of indexed partition MBRs.
+func (db *Database) NumMBRs() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tree.Len()
+}
+
+// Segmented returns the stored (sequence, partitioning) pair for id, or
+// nil when the id is unknown.
+func (db *Database) Segmented(id uint32) *Segmented {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if int(id) >= len(db.seqs) {
+		return nil
+	}
+	return db.seqs[id]
+}
+
+// Sequences returns the live (non-removed) sequences in id order.
+func (db *Database) Sequences() []*Sequence {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]*Sequence, 0, db.live)
+	for _, g := range db.seqs {
+		if g != nil {
+			out = append(out, g.Seq)
+		}
+	}
+	return out
+}
+
+// IndexHeight returns the height of the R*-tree over all partition MBRs.
+func (db *Database) IndexHeight() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tree.Height()
+}
+
+// IndexFanout returns the R*-tree node capacity in force.
+func (db *Database) IndexFanout() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tree.MaxEntries()
+}
+
+// PartitionConfig returns the partitioning settings in force.
+func (db *Database) PartitionConfig() PartitionConfig { return db.opts.Partition }
+
+// PagerStats exposes the index page-access counters.
+func (db *Database) PagerStats() pager.Stats { return db.pg.Stats() }
+
+// ResetPagerStats zeroes the index page-access counters.
+func (db *Database) ResetPagerStats() { db.pg.ResetStats() }
+
+// Match is one sequence surviving phase 3, with its approximated solution
+// interval.
+type Match struct {
+	SeqID uint32
+	Seq   *Sequence
+	// MinDnorm is the smallest Dnorm over all (query MBR, data MBR)
+	// pairs — a lower bound on D(Q,S), usable for ranking.
+	MinDnorm float64
+	// Interval approximates the solution interval: the union of the point
+	// ranges involved in every qualifying Dnorm computation.
+	Interval IntervalSet
+}
+
+// SearchStats reports what each phase of one Search did.
+type SearchStats struct {
+	QueryMBRs       int           // phase 1: partitions of the query
+	TotalSequences  int           // database size at query time
+	CandidatesDmbr  int           // |ASmbr| after phase 2
+	MatchesDnorm    int           // |ASnorm| after phase 3
+	IndexEntriesHit int           // leaf entries the index search visited
+	DnormEvals      int           // Dnorm computations in phase 3
+	Phase1          time.Duration // query partitioning
+	Phase2          time.Duration // index pruning by Dmbr
+	Phase3          time.Duration // Dnorm pruning + interval assembly
+}
+
+// Total returns the end-to-end search duration.
+func (st SearchStats) Total() time.Duration { return st.Phase1 + st.Phase2 + st.Phase3 }
+
+// Search runs the paper's SIMILARITY_SEARCH algorithm: partition the query
+// (phase 1), prune with Dmbr through the R*-tree (phase 2), then prune
+// with Dnorm and assemble solution intervals (phase 3). Results are
+// ordered by ascending sequence id.
+func (db *Database) Search(q *Sequence, eps float64) ([]Match, SearchStats, error) {
+	var st SearchStats
+	if err := q.Validate(); err != nil {
+		return nil, st, err
+	}
+	if q.Dim() != db.opts.Dim {
+		return nil, st, fmt.Errorf("core: query dim %d, database dim %d: %w",
+			q.Dim(), db.opts.Dim, geom.ErrDimensionMismatch)
+	}
+	if eps < 0 {
+		return nil, st, fmt.Errorf("core: negative threshold %g", eps)
+	}
+
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.pg == nil {
+		return nil, st, errors.New("core: database closed")
+	}
+	st.TotalSequences = db.live
+
+	// Phase 1: partition the query sequence.
+	t0 := time.Now()
+	qseg, err := NewSegmented(q, db.opts.Partition)
+	if err != nil {
+		return nil, st, err
+	}
+	st.QueryMBRs = len(qseg.MBRs)
+	st.Phase1 = time.Since(t0)
+
+	// Phase 2: first pruning. Any sequence owning an MBR within Dmbr ≤ ε
+	// of any query MBR becomes a candidate.
+	t1 := time.Now()
+	candidates := make(map[uint32]bool)
+	for _, qm := range qseg.MBRs {
+		err := db.tree.WithinDist(qm.Rect, eps, func(it rtree.Item) bool {
+			st.IndexEntriesHit++
+			seqID, _ := it.Ref.Unpack()
+			candidates[seqID] = true
+			return true
+		})
+		if err != nil {
+			return nil, st, err
+		}
+	}
+	st.CandidatesDmbr = len(candidates)
+	st.Phase2 = time.Since(t1)
+
+	// Phase 3: second pruning with Dnorm; qualifying windows accumulate
+	// into the solution interval.
+	t2 := time.Now()
+	var out []Match
+	ids := make([]uint32, 0, len(candidates))
+	for id := range candidates {
+		ids = append(ids, id)
+	}
+	sortUint32s(ids)
+	for _, id := range ids {
+		m, hit, evals := phase3One(qseg, db.seqs[id], q.Len(), eps)
+		m.SeqID = id
+		st.DnormEvals += evals
+		if hit {
+			out = append(out, m)
+		}
+	}
+	st.MatchesDnorm = len(out)
+	st.Phase3 = time.Since(t2)
+	return out, st, nil
+}
+
+// phase3One runs the Dnorm pruning and solution-interval assembly for one
+// candidate sequence. It is pure read-only metric work, shared by the
+// serial and parallel search paths.
+//
+// The sweep visits every Dnorm window once; each qualifying window
+// contributes its points to the solution interval (Example 3), widened to
+// full-query extent: the window covers the data matching query offsets
+// [qm.Start, qm.End), and the Definition 6 windows containing it are
+// len(Q) long, so the match region extends left by the query prefix before
+// this MBR and right by the suffix after it. Without the widening,
+// interval recall loses the fringes of every match.
+func phase3One(qseg *Segmented, g *Segmented, qLen int, eps float64) (m Match, hit bool, evals int) {
+	m = Match{Seq: g.Seq, MinDnorm: math.Inf(1)}
+	for _, qm := range qseg.MBRs {
+		calc := newDnormCalc(qm.Rect, qm.Count(), g)
+		evals += len(g.MBRs)
+		minDist := calc.sweep(eps, func(dist float64, pstart, pend int) {
+			hit = true
+			start := pstart - qm.Start
+			end := pend + (qLen - qm.End)
+			if start < 0 {
+				start = 0
+			}
+			if end > g.Seq.Len() {
+				end = g.Seq.Len()
+			}
+			m.Interval.Add(PointRange{Start: start, End: end})
+		})
+		if minDist < m.MinDnorm {
+			m.MinDnorm = minDist
+		}
+	}
+	return m, hit, evals
+}
+
+// CandidatesDmbr runs only phase 1+2 and returns the candidate set — the
+// paper's ASmbr, needed to measure Figure 6/7's Dmbr-only pruning rate.
+func (db *Database) CandidatesDmbr(q *Sequence, eps float64) (map[uint32]bool, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.pg == nil {
+		return nil, errors.New("core: database closed")
+	}
+	qseg, err := NewSegmented(q, db.opts.Partition)
+	if err != nil {
+		return nil, err
+	}
+	candidates := make(map[uint32]bool)
+	for _, qm := range qseg.MBRs {
+		err := db.tree.WithinDist(qm.Rect, eps, func(it rtree.Item) bool {
+			seqID, _ := it.Ref.Unpack()
+			candidates[seqID] = true
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return candidates, nil
+}
+
+func sortUint32s(xs []uint32) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

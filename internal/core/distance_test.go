@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+// seqFromCoords builds a 1-D sequence from scalars (time-series are the
+// paper's special case of the model).
+func seqFromCoords(vals ...float64) *Sequence {
+	pts := make([]geom.Point, len(vals))
+	for i, v := range vals {
+		pts[i] = geom.Point{v}
+	}
+	return &Sequence{Points: pts}
+}
+
+func randSeq(rng *rand.Rand, n, dim int) *Sequence {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, dim)
+		for k := range p {
+			p[k] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return &Sequence{Points: pts}
+}
+
+// randWalkSeq produces a smoother trail (closer to real sequence data than
+// i.i.d. noise) for property tests.
+func randWalkSeq(rng *rand.Rand, n, dim int) *Sequence {
+	pts := make([]geom.Point, n)
+	cur := make(geom.Point, dim)
+	for k := range cur {
+		cur[k] = rng.Float64()
+	}
+	for i := range pts {
+		next := make(geom.Point, dim)
+		for k := range next {
+			next[k] = math.Min(1, math.Max(0, cur[k]+(rng.Float64()-0.5)*0.1))
+		}
+		pts[i] = next
+		cur = next
+	}
+	return &Sequence{Points: pts}
+}
+
+func TestDmeanEqualLength(t *testing.T) {
+	a := []geom.Point{{0, 0}, {1, 0}}
+	b := []geom.Point{{0, 1}, {1, 2}}
+	// distances: 1 and 2 -> mean 1.5
+	if got := Dmean(a, b); !almostEqual(got, 1.5) {
+		t.Errorf("Dmean = %g, want 1.5", got)
+	}
+	if got := Dmean(a, a); got != 0 {
+		t.Errorf("Dmean(a,a) = %g, want 0", got)
+	}
+	if got := Dmean(nil, nil); got != 0 {
+		t.Errorf("Dmean(nil,nil) = %g, want 0", got)
+	}
+}
+
+func TestDmeanPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dmean([]geom.Point{{0}}, []geom.Point{{0}, {1}})
+}
+
+func TestDEqualLengthIsMean(t *testing.T) {
+	s1 := seqFromCoords(0, 0.5, 1)
+	s2 := seqFromCoords(0.1, 0.5, 0.9)
+	want := (0.1 + 0 + 0.1) / 3
+	if got := D(s1, s2); !almostEqual(got, want) {
+		t.Errorf("D = %g, want %g", got, want)
+	}
+}
+
+func TestDSlidesShorterSequence(t *testing.T) {
+	long := seqFromCoords(0.9, 0.9, 0.1, 0.2, 0.9)
+	short := seqFromCoords(0.1, 0.2)
+	// Best alignment is at offset 2 with distance 0.
+	if got := D(short, long); !almostEqual(got, 0) {
+		t.Errorf("D = %g, want 0", got)
+	}
+	off, dist := BestAlignment(short.Points, long.Points)
+	if off != 2 || !almostEqual(dist, 0) {
+		t.Errorf("BestAlignment = (%d, %g), want (2, 0)", off, dist)
+	}
+}
+
+func TestDSymmetricInArgumentOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		a := randSeq(rng, 5+rng.Intn(20), 3)
+		b := randSeq(rng, 5+rng.Intn(20), 3)
+		if !almostEqual(D(a, b), D(b, a)) {
+			t.Fatalf("D not symmetric: %g vs %g", D(a, b), D(b, a))
+		}
+	}
+}
+
+func TestDIdentityAndSubsequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := randSeq(rng, 30, 3)
+	if got := D(s, s); got != 0 {
+		t.Errorf("D(s,s) = %g, want 0", got)
+	}
+	sub := &Sequence{Points: s.Points[10:20]}
+	if got := D(sub, s); !almostEqual(got, 0) {
+		t.Errorf("D(subsequence, s) = %g, want 0", got)
+	}
+}
+
+func TestDEmptySequences(t *testing.T) {
+	if got := DPoints(nil, []geom.Point{{0}}); !math.IsInf(got, 1) {
+		t.Errorf("D with empty side = %g, want +Inf", got)
+	}
+}
+
+// TestSumOfDistancesIsMisleading reproduces Example 1 / Figure 1: a close
+// pair with many points has a larger distance SUM than a distant pair with
+// few points, but the paper's mean-based D ranks them correctly.
+func TestSumOfDistancesIsMisleading(t *testing.T) {
+	mk := func(n int, base, gap float64) (*Sequence, *Sequence) {
+		a := make([]geom.Point, n)
+		b := make([]geom.Point, n)
+		for i := range a {
+			x := base + float64(i)*0.05
+			a[i] = geom.Point{x, 0.4}
+			b[i] = geom.Point{x, 0.4 + gap}
+		}
+		return &Sequence{Points: a}, &Sequence{Points: b}
+	}
+	s1, s2 := mk(9, 0.1, 0.10) // 9 close pairs (gap 0.10): sum 0.9, mean 0.1
+	s3, s4 := mk(3, 0.1, 0.25) // 3 distant pairs (gap 0.25): sum 0.75, mean 0.25
+
+	sum := func(a, b *Sequence) float64 {
+		var s float64
+		for i := range a.Points {
+			s += a.Points[i].Dist(b.Points[i])
+		}
+		return s
+	}
+	if !(sum(s1, s2) > sum(s3, s4)) {
+		t.Fatalf("example construction broken: sums %g vs %g", sum(s1, s2), sum(s3, s4))
+	}
+	if !(D(s1, s2) < D(s3, s4)) {
+		t.Errorf("mean distance should rank the close pair as more similar: %g vs %g",
+			D(s1, s2), D(s3, s4))
+	}
+}
+
+func TestMinPointPairDist(t *testing.T) {
+	a := []geom.Point{{0, 0}, {1, 1}}
+	b := []geom.Point{{1, 0}, {5, 5}}
+	// closest pair: (1,1)-(1,0) distance 1
+	if got := MinPointPairDist(a, b); !almostEqual(got, 1) {
+		t.Errorf("MinPointPairDist = %g, want 1", got)
+	}
+}
+
+// TestDLowerBoundedByMinPairDist checks the δ step of Lemma 1's proof:
+// every alignment mean is at least the global minimum pair distance.
+func TestDLowerBoundedByMinPairDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		a := randWalkSeq(rng, 10+rng.Intn(30), 3)
+		b := randWalkSeq(rng, 10+rng.Intn(30), 3)
+		delta := MinPointPairDist(a.Points, b.Points)
+		if d := D(a, b); d < delta-1e-9 {
+			t.Fatalf("D = %g < δ = %g", d, delta)
+		}
+	}
+}
+
+func TestBestAlignmentEmpty(t *testing.T) {
+	off, dist := BestAlignment(nil, []geom.Point{{0}})
+	if off != 0 || !math.IsInf(dist, 1) {
+		t.Errorf("BestAlignment on empty = (%d, %g)", off, dist)
+	}
+}

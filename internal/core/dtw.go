@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// DTW computes the dynamic time warping distance between two
+// multidimensional point sequences: the minimum total Euclidean point
+// distance over all monotone alignments that may locally accelerate or
+// decelerate ("time warping ... permits local accelerations and
+// decelerations", Yi et al., cited in the paper's Section 2). window is
+// the Sakoe–Chiba band half-width constraining |i−j|; window < 0 means
+// unconstrained.
+//
+// DTW is not a lower-boundable metric in this system — it is offered as a
+// refinement step: range-search with D (fast, no false dismissals), then
+// re-rank the survivors with DTW when elastic matching is wanted.
+func DTW(a, b []geom.Point, window int) (float64, error) {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 0, fmt.Errorf("core: DTW of empty sequence (%d, %d points)", n, m)
+	}
+	if window >= 0 && window < abs(n-m) {
+		// A band narrower than the length difference admits no path.
+		return 0, fmt.Errorf("core: DTW window %d narrower than length difference %d", window, abs(n-m))
+	}
+	// Two-row dynamic program; rows indexed by i over a, columns by j
+	// over b.
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = math.Inf(1)
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := range cur {
+			cur[j] = math.Inf(1)
+		}
+		lo, hi := 1, m
+		if window >= 0 {
+			if l := i - window; l > lo {
+				lo = l
+			}
+			if h := i + window; h < hi {
+				hi = h
+			}
+		}
+		for j := lo; j <= hi; j++ {
+			d := a[i-1].Dist(b[j-1])
+			best := prev[j] // insertion (advance a only)
+			if prev[j-1] < best {
+				best = prev[j-1] // match (advance both)
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion (advance b only)
+			}
+			cur[j] = d + best
+		}
+		prev, cur = cur, prev
+	}
+	total := prev[m]
+	if math.IsInf(total, 1) {
+		return 0, fmt.Errorf("core: DTW window %d admits no alignment for lengths %d, %d", window, n, m)
+	}
+	// Normalize by the longer length so values are comparable to the mean
+	// distance D on equal-length inputs.
+	denom := n
+	if m > denom {
+		denom = m
+	}
+	return total / float64(denom), nil
+}
+
+// RefineDTW re-ranks range-search matches by DTW distance between the
+// query and each match's solution-interval points, ascending. Matches
+// whose window admits no alignment keep their original relative order at
+// the end. This composes the paper's pruning machinery with the elastic
+// metric its related-work section discusses.
+func RefineDTW(q *Sequence, matches []Match, window int) []Match {
+	type scored struct {
+		m    Match
+		d    float64
+		ok   bool
+		rank int
+	}
+	ss := make([]scored, len(matches))
+	for i, m := range matches {
+		ss[i] = scored{m: m, rank: i}
+		// Compare against the densest matching range (the longest one).
+		var best PointRange
+		for _, r := range m.Interval.Ranges() {
+			if r.Len() > best.Len() {
+				best = r
+			}
+		}
+		if best.Len() == 0 {
+			continue
+		}
+		d, err := DTW(q.Points, m.Seq.Points[best.Start:best.End], window)
+		if err == nil {
+			ss[i].d, ss[i].ok = d, true
+		}
+	}
+	out := make([]Match, 0, len(matches))
+	// Stable selection: scored ascending first, then unscored in input
+	// order.
+	for {
+		bestIdx := -1
+		for i := range ss {
+			if ss[i].rank < 0 || !ss[i].ok {
+				continue
+			}
+			if bestIdx < 0 || ss[i].d < ss[bestIdx].d {
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		out = append(out, ss[bestIdx].m)
+		ss[bestIdx].rank = -1
+	}
+	for i := range ss {
+		if ss[i].rank >= 0 && !ss[i].ok {
+			out = append(out, ss[i].m)
+		}
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func pts1d(vals ...float64) []geom.Point {
+	out := make([]geom.Point, len(vals))
+	for i, v := range vals {
+		out[i] = geom.Point{v}
+	}
+	return out
+}
+
+func TestDTWIdentical(t *testing.T) {
+	a := pts1d(0.1, 0.5, 0.9, 0.5)
+	d, err := DTW(a, a, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("DTW(a,a) = %g, want 0", d)
+	}
+}
+
+func TestDTWKnownValue(t *testing.T) {
+	// a = (0, 1, 0), b = (0, 0, 1, 1, 0, 0): DTW stretches each of a's
+	// steps over b's repeats and pays nothing, while no rigid length-3
+	// window of b equals a.
+	a := pts1d(0, 1, 0)
+	b := pts1d(0, 0, 1, 1, 0, 0)
+	d, err := DTW(a, b, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("DTW = %g, want 0 (warping absorbs the repeat)", d)
+	}
+	// Euclidean sliding D cannot do this: no length-2 window of b equals a.
+	if dd := DPoints(a, b); dd == 0 {
+		t.Errorf("D = %g; expected > 0, the warping advantage", dd)
+	}
+}
+
+func TestDTWSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		a := randWalkSeq(rng, 5+rng.Intn(30), 3).Points
+		b := randWalkSeq(rng, 5+rng.Intn(30), 3).Points
+		d1, err1 := DTW(a, b, -1)
+		d2, err2 := DTW(b, a, -1)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !almostEqual(d1, d2) {
+			t.Fatalf("DTW not symmetric: %g vs %g", d1, d2)
+		}
+	}
+}
+
+func TestDTWTimeShiftCheaperThanEuclidean(t *testing.T) {
+	// A locally decelerated copy: DTW should consider it near-identical
+	// while the rigid mean distance does not.
+	base := []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.7, 0.5, 0.3, 0.1}
+	slowed := []float64{0.1, 0.1, 0.3, 0.3, 0.5, 0.7, 0.9, 0.7, 0.5, 0.3, 0.1}
+	dtw, err := DTW(pts1d(base...), pts1d(slowed...), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	euclid := DPoints(pts1d(base...), pts1d(slowed...))
+	if dtw >= euclid {
+		t.Errorf("DTW %g >= sliding D %g on warped copy", dtw, euclid)
+	}
+	if dtw > 1e-9 {
+		t.Errorf("DTW of pure deceleration = %g, want 0", dtw)
+	}
+}
+
+func TestDTWWindowConstraint(t *testing.T) {
+	a := pts1d(0, 0.5, 1)
+	b := pts1d(0, 0.5, 1)
+	if _, err := DTW(a, b, 0); err != nil {
+		t.Errorf("diagonal-only window on equal lengths should work: %v", err)
+	}
+	long := pts1d(0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+	if _, err := DTW(a, long, 1); err == nil {
+		t.Error("window narrower than length difference accepted")
+	}
+	// Wider window accommodates the difference.
+	if _, err := DTW(a, long, 4); err != nil {
+		t.Errorf("wide window rejected: %v", err)
+	}
+}
+
+func TestDTWEmpty(t *testing.T) {
+	if _, err := DTW(nil, pts1d(1), -1); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestDTWWindowMonotone(t *testing.T) {
+	// Widening the band can only lower (or keep) the distance.
+	rng := rand.New(rand.NewSource(2))
+	a := randWalkSeq(rng, 25, 3).Points
+	b := randWalkSeq(rng, 25, 3).Points
+	prev := -1.0
+	for _, w := range []int{25, 10, 5, 2, 0} {
+		d, err := DTW(a, b, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && d < prev-1e-12 {
+			t.Fatalf("narrower window %d gave smaller DTW %g < %g", w, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestRefineDTW(t *testing.T) {
+	db := newTestDB(t, 3)
+	rng := rand.New(rand.NewSource(3))
+	seqs := populateWalks(t, db, 30, rng)
+	q := &Sequence{Points: seqs[5].Points[10:40]}
+	matches, _, err := db.Search(q, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) < 2 {
+		t.Skip("not enough matches to rank")
+	}
+	ranked := RefineDTW(q, matches, -1)
+	if len(ranked) != len(matches) {
+		t.Fatalf("RefineDTW dropped matches: %d vs %d", len(ranked), len(matches))
+	}
+	// The exact source should rank first (DTW 0 on its own subsequence).
+	if ranked[0].SeqID != 5 {
+		t.Errorf("top-ranked = %d, want the source sequence 5", ranked[0].SeqID)
+	}
+	// Ranks must be by ascending DTW; spot-check first two.
+	d0 := mustDTW(t, q.Points, intervalPoints(ranked[0]))
+	d1 := mustDTW(t, q.Points, intervalPoints(ranked[1]))
+	if d0 > d1+1e-9 {
+		t.Errorf("ranking not ascending: %g then %g", d0, d1)
+	}
+}
+
+func intervalPoints(m Match) []geom.Point {
+	var best PointRange
+	for _, r := range m.Interval.Ranges() {
+		if r.Len() > best.Len() {
+			best = r
+		}
+	}
+	return m.Seq.Points[best.Start:best.End]
+}
+
+func mustDTW(t *testing.T, a, b []geom.Point) float64 {
+	t.Helper()
+	d, err := DTW(a, b, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestExplainAgreesWithSearch(t *testing.T) {
+	db := newTestDB(t, 3)
+	rng := rand.New(rand.NewSource(150))
+	populateWalks(t, db, 40, rng)
+	for trial := 0; trial < 6; trial++ {
+		q := randWalkSeq(rng, 25+rng.Intn(40), 3)
+		eps := 0.05 + 0.1*float64(trial%4)
+
+		ex, err := db.Explain(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ex.Candidates) != 40 {
+			t.Fatalf("Explain covered %d sequences", len(ex.Candidates))
+		}
+		matches, _, err := db.Search(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matchSet := make(map[uint32]bool)
+		for _, m := range matches {
+			matchSet[m.SeqID] = true
+		}
+		cands, err := db.CandidatesDmbr(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range ex.Candidates {
+			switch c.Phase {
+			case "matched":
+				if !matchSet[c.SeqID] {
+					t.Errorf("trial %d: Explain says %d matched, Search disagrees", trial, c.SeqID)
+				}
+			case "pruned-dnorm":
+				if matchSet[c.SeqID] {
+					t.Errorf("trial %d: Explain says %d pruned by Dnorm but it matched", trial, c.SeqID)
+				}
+				if !cands[c.SeqID] {
+					t.Errorf("trial %d: %d should have been a Dmbr candidate", trial, c.SeqID)
+				}
+			case "pruned-dmbr":
+				if cands[c.SeqID] {
+					t.Errorf("trial %d: Explain says %d pruned by Dmbr but index returned it", trial, c.SeqID)
+				}
+			default:
+				t.Fatalf("unknown phase %q", c.Phase)
+			}
+			if c.MinDmbr > c.MinDnorm+1e-9 {
+				t.Errorf("bounds out of order for %d: Dmbr %g > Dnorm %g", c.SeqID, c.MinDmbr, c.MinDnorm)
+			}
+		}
+		pd, pn, m := ex.Counts()
+		if pd+pn+m != 40 {
+			t.Errorf("counts don't add up: %d+%d+%d", pd, pn, m)
+		}
+		if m != len(matches) {
+			t.Errorf("matched count %d != Search results %d", m, len(matches))
+		}
+	}
+}
+
+func TestExplainWriteTo(t *testing.T) {
+	db := newTestDB(t, 3)
+	rng := rand.New(rand.NewSource(151))
+	populateWalks(t, db, 10, rng)
+	q := randWalkSeq(rng, 20, 3)
+	ex, err := db.Explain(q, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if _, err := ex.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"eps=0.2000", "minDnorm", "phase"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainValidation(t *testing.T) {
+	db := newTestDB(t, 3)
+	if _, err := db.Explain(&Sequence{}, 0.1); err == nil {
+		t.Error("empty query accepted")
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PointRange is a half-open range [Start, End) of point indices within one
+// data sequence.
+type PointRange struct {
+	Start, End int
+}
+
+// Len returns the number of points in the range.
+func (r PointRange) Len() int { return r.End - r.Start }
+
+func (r PointRange) String() string { return fmt.Sprintf("[%d,%d)", r.Start, r.End) }
+
+// IntervalSet is a normalized set of point ranges — the solution interval
+// of Definition 6 (or its Dnorm approximation). Ranges are kept sorted,
+// non-empty, non-overlapping and non-adjacent.
+type IntervalSet struct {
+	ranges []PointRange
+}
+
+// Add inserts a range, merging as needed. Empty or inverted ranges are
+// ignored.
+func (s *IntervalSet) Add(r PointRange) {
+	if r.End <= r.Start {
+		return
+	}
+	// Locate insertion point by Start.
+	i := sort.Search(len(s.ranges), func(i int) bool { return s.ranges[i].Start > r.Start })
+	// Merge with predecessor if overlapping/adjacent.
+	if i > 0 && s.ranges[i-1].End >= r.Start {
+		i--
+		if s.ranges[i].End >= r.End {
+			return // fully covered
+		}
+		r.Start = s.ranges[i].Start
+	}
+	// Absorb successors covered by r.
+	j := i
+	for j < len(s.ranges) && s.ranges[j].Start <= r.End {
+		if s.ranges[j].End > r.End {
+			r.End = s.ranges[j].End
+		}
+		j++
+	}
+	s.ranges = append(s.ranges[:i], append([]PointRange{r}, s.ranges[j:]...)...)
+}
+
+// AddSet merges every range of t into s.
+func (s *IntervalSet) AddSet(t *IntervalSet) {
+	for _, r := range t.ranges {
+		s.Add(r)
+	}
+}
+
+// Ranges returns the normalized ranges (read-only view).
+func (s *IntervalSet) Ranges() []PointRange { return s.ranges }
+
+// NumPoints returns the total number of points covered.
+func (s *IntervalSet) NumPoints() int {
+	var n int
+	for _, r := range s.ranges {
+		n += r.Len()
+	}
+	return n
+}
+
+// Contains reports whether point index i is covered.
+func (s *IntervalSet) Contains(i int) bool {
+	j := sort.Search(len(s.ranges), func(j int) bool { return s.ranges[j].End > i })
+	return j < len(s.ranges) && s.ranges[j].Start <= i
+}
+
+// IntersectCount returns |s ∩ t| in points — the numerator of the paper's
+// recall measure.
+func (s *IntervalSet) IntersectCount(t *IntervalSet) int {
+	var n, i, j int
+	for i < len(s.ranges) && j < len(t.ranges) {
+		a, b := s.ranges[i], t.ranges[j]
+		lo, hi := max(a.Start, b.Start), min(a.End, b.End)
+		if hi > lo {
+			n += hi - lo
+		}
+		if a.End < b.End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return n
+}
+
+// IsEmpty reports whether the set covers no points.
+func (s *IntervalSet) IsEmpty() bool { return len(s.ranges) == 0 }
+
+func (s *IntervalSet) String() string {
+	if len(s.ranges) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(s.ranges))
+	for i, r := range s.ranges {
+		parts[i] = r.String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// KNNResult is one ranked result of a k-nearest-sequences query.
+type KNNResult struct {
+	SeqID uint32
+	Seq   *Sequence
+	// Dist is the exact sequence distance D(Q,S).
+	Dist float64
+	// Offset is the best alignment of the shorter side inside the longer.
+	Offset int
+}
+
+// SearchKNN returns the k stored sequences nearest to q under the exact
+// distance D, in nondecreasing order. It is an extension beyond the
+// paper's range queries, built from the same machinery: candidate
+// sequences are ranked by the Dnorm lower bound (Lemma 3) and refined with
+// the exact distance only until the next lower bound exceeds the k-th best
+// exact distance — so most sequences are never scanned.
+func (db *Database) SearchKNN(q *Sequence, k int) ([]KNNResult, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.Dim() != db.opts.Dim {
+		return nil, fmt.Errorf("core: query dim %d, database dim %d: %w",
+			q.Dim(), db.opts.Dim, geom.ErrDimensionMismatch)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.pg == nil {
+		return nil, errors.New("core: database closed")
+	}
+
+	qseg, err := NewSegmented(q, db.opts.Partition)
+	if err != nil {
+		return nil, err
+	}
+
+	// Lower bound for every live sequence: min over query MBRs of the
+	// sequence's MinDnorm. (The loop over all sequences is O(n·r) metric
+	// work on in-memory MBRs — no point data is touched.)
+	h := &candHeap{}
+	for id, g := range db.seqs {
+		if g == nil {
+			continue // removed
+		}
+		bound := math.Inf(1)
+		for _, qm := range qseg.MBRs {
+			c := newDnormCalc(qm.Rect, qm.Count(), g)
+			if d := c.sweep(math.Inf(-1), nil); d < bound {
+				bound = d
+			}
+		}
+		heap.Push(h, knnCand{id: uint32(id), bound: bound})
+	}
+
+	// Refine in bound order; stop when the next bound cannot improve on
+	// the current k-th best exact distance.
+	var out []KNNResult
+	worst := math.Inf(1)
+	for h.Len() > 0 {
+		c := heap.Pop(h).(knnCand)
+		if len(out) >= k && c.bound > worst {
+			break
+		}
+		g := db.seqs[c.id]
+		off, dist := BestAlignment(q.Points, g.Seq.Points)
+		out = insertKNN(out, KNNResult{SeqID: c.id, Seq: g.Seq, Dist: dist, Offset: off}, k)
+		if len(out) == k {
+			worst = out[len(out)-1].Dist
+		}
+	}
+	return out, nil
+}
+
+// insertKNN inserts r into the sorted top-k slice, keeping at most k.
+func insertKNN(rs []KNNResult, r KNNResult, k int) []KNNResult {
+	pos := len(rs)
+	for pos > 0 && rs[pos-1].Dist > r.Dist {
+		pos--
+	}
+	rs = append(rs, KNNResult{})
+	copy(rs[pos+1:], rs[pos:])
+	rs[pos] = r
+	if len(rs) > k {
+		rs = rs[:k]
+	}
+	return rs
+}
+
+// knnCand is a sequence with its Dnorm lower bound, ordered by bound.
+type knnCand struct {
+	id    uint32
+	bound float64
+}
+
+type candHeap []knnCand
+
+func (h candHeap) Len() int            { return len(h) }
+func (h candHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(knnCand)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

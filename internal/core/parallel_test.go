@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestSearchParallelMatchesSerial(t *testing.T) {
+	db := newTestDB(t, 3)
+	rng := rand.New(rand.NewSource(120))
+	populateWalks(t, db, 80, rng)
+	for trial := 0; trial < 10; trial++ {
+		q := randWalkSeq(rng, 20+rng.Intn(60), 3)
+		eps := 0.05 + 0.1*float64(trial%5)
+		serial, sst, err := db.Search(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 4} {
+			par, pst, err := db.SearchParallel(q, eps, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par) != len(serial) {
+				t.Fatalf("trial %d workers %d: %d vs %d matches", trial, workers, len(par), len(serial))
+			}
+			for i := range serial {
+				if par[i].SeqID != serial[i].SeqID {
+					t.Fatalf("trial %d: order differs at %d", trial, i)
+				}
+				if !almostEqual(par[i].MinDnorm, serial[i].MinDnorm) {
+					t.Fatalf("trial %d: MinDnorm differs for %d", trial, par[i].SeqID)
+				}
+				if par[i].Interval.NumPoints() != serial[i].Interval.NumPoints() {
+					t.Fatalf("trial %d: intervals differ for %d", trial, par[i].SeqID)
+				}
+			}
+			if pst.CandidatesDmbr != sst.CandidatesDmbr || pst.DnormEvals != sst.DnormEvals {
+				t.Fatalf("trial %d: stats differ: %+v vs %+v", trial, pst, sst)
+			}
+		}
+	}
+}
+
+func TestSearchParallelValidation(t *testing.T) {
+	db := newTestDB(t, 3)
+	rng := rand.New(rand.NewSource(121))
+	populateWalks(t, db, 5, rng)
+	if _, _, err := db.SearchParallel(&Sequence{}, 0.1, 2); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, _, err := db.SearchParallel(seqFromCoords(1), 0.1, 2); err == nil {
+		t.Error("wrong dim accepted")
+	}
+	q := randWalkSeq(rng, 20, 3)
+	if _, _, err := db.SearchParallel(q, -1, 2); err == nil {
+		t.Error("negative eps accepted")
+	}
+}
+
+// TestConcurrentSearchers hammers Search/SearchParallel from many
+// goroutines at once; the race detector (go test -race) turns any shared
+// mutable state into a failure.
+func TestConcurrentSearchers(t *testing.T) {
+	db := newTestDB(t, 3)
+	rng := rand.New(rand.NewSource(122))
+	populateWalks(t, db, 40, rng)
+	queries := make([]*Sequence, 8)
+	for i := range queries {
+		queries[i] = randWalkSeq(rng, 25, 3)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				q := queries[(gi+i)%len(queries)]
+				if gi%2 == 0 {
+					if _, _, err := db.Search(q, 0.2); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					if _, _, err := db.SearchParallel(q, 0.2, 2); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestOffsetProfile(t *testing.T) {
+	q := []geom.Point{{0.1}, {0.2}}
+	s := []geom.Point{{0.1}, {0.2}, {0.3}, {0.4}}
+	got := OffsetProfile(q, s)
+	want := []float64{0, 0.1, 0.2}
+	if len(got) != len(want) {
+		t.Fatalf("profile length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !almostEqual(got[i], want[i]) {
+			t.Errorf("profile[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOffsetProfileSwapsWhenQueryLonger(t *testing.T) {
+	q := []geom.Point{{0.1}, {0.2}, {0.3}, {0.4}}
+	s := []geom.Point{{0.3}, {0.4}}
+	got := OffsetProfile(q, s)
+	if len(got) != 3 {
+		t.Fatalf("profile length %d, want 3", len(got))
+	}
+	if !almostEqual(got[2], 0) {
+		t.Errorf("best alignment should be 0, profile = %v", got)
+	}
+	if OffsetProfile(nil, s) != nil {
+		t.Error("empty query should give nil profile")
+	}
+}
+
+func TestMinOfProfile(t *testing.T) {
+	if got := MinOfProfile([]float64{0.5, 0.2, 0.9}); got != 0.2 {
+		t.Errorf("MinOfProfile = %g", got)
+	}
+	if got := MinOfProfile(nil); !math.IsInf(got, 1) {
+		t.Errorf("empty profile min = %g, want +Inf", got)
+	}
+}
+
+func TestSolutionIntervalFromProfile(t *testing.T) {
+	profile := []float64{0.5, 0.1, 0.1, 0.5, 0.1}
+	si := SolutionIntervalFromProfile(profile, 3, 7, false, 0.2)
+	// offsets 1,2 qualify -> [1,4) ∪ [2,5) = [1,5); offset 4 -> [4,7)
+	// merged: [1,7)
+	if si.NumPoints() != 6 || len(si.Ranges()) != 1 {
+		t.Errorf("SI = %v", si.String())
+	}
+	// Query longer: any qualifying offset covers the whole data sequence.
+	si = SolutionIntervalFromProfile(profile, 3, 7, true, 0.2)
+	if si.NumPoints() != 7 {
+		t.Errorf("query-longer SI = %v, want whole sequence", si.String())
+	}
+	// Nothing qualifies.
+	si = SolutionIntervalFromProfile(profile, 3, 7, false, 0.05)
+	if !si.IsEmpty() {
+		t.Errorf("SI = %v, want empty", si.String())
+	}
+}
+
+func TestSequentialSearchExactness(t *testing.T) {
+	db := newTestDB(t, 3)
+	rng := rand.New(rand.NewSource(60))
+	seqs := populateWalks(t, db, 30, rng)
+	q := randWalkSeq(rng, 25, 3)
+	eps := 0.25
+	got, err := db.SequentialSearch(q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inGot := make(map[uint32]float64)
+	for _, r := range got {
+		inGot[r.SeqID] = r.Dist
+		if r.Dist > eps {
+			t.Errorf("returned sequence %d with D=%g > eps", r.SeqID, r.Dist)
+		}
+		if r.Interval.IsEmpty() {
+			t.Errorf("relevant sequence %d with empty exact interval", r.SeqID)
+		}
+	}
+	// Cross-check against direct D computation.
+	for i, s := range seqs {
+		d := D(q, s)
+		if d <= eps {
+			if got, ok := inGot[uint32(i)]; !ok {
+				t.Errorf("sequence %d with D=%g missing from scan", i, d)
+			} else if !almostEqual(got, d) {
+				t.Errorf("sequence %d Dist=%g, want %g", i, got, d)
+			}
+		} else if _, ok := inGot[uint32(i)]; ok {
+			t.Errorf("sequence %d with D=%g > eps returned", i, d)
+		}
+	}
+}
+
+func TestSequentialSearchIntervalMatchesDefinition(t *testing.T) {
+	// Hand-checkable case: data has an exact copy of the query at a known
+	// offset and noise elsewhere.
+	db := newTestDB(t, 1)
+	qvals := []float64{0.5, 0.52, 0.54}
+	data := []float64{0.9, 0.95, 0.5, 0.52, 0.54, 0.95, 0.9, 0.9}
+	dseq := seqFromCoords(data...)
+	if _, err := db.Add(dseq); err != nil {
+		t.Fatal(err)
+	}
+	q := seqFromCoords(qvals...)
+	res, err := db.SequentialSearch(q, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("results = %d, want 1", len(res))
+	}
+	want := PointRange{2, 5}
+	rs := res[0].Interval.Ranges()
+	if len(rs) != 1 || rs[0] != want {
+		t.Errorf("interval = %v, want {%v}", res[0].Interval.String(), want)
+	}
+	if !almostEqual(res[0].Dist, 0) {
+		t.Errorf("Dist = %g, want 0", res[0].Dist)
+	}
+}
+
+func TestSequentialSearchInvalidQuery(t *testing.T) {
+	db := newTestDB(t, 3)
+	if _, err := db.SequentialSearch(&Sequence{}, 0.1); err == nil {
+		t.Error("empty query accepted")
+	}
+}

@@ -1,0 +1,205 @@
+// Package curve implements the space-filling curves the paper lists for
+// linearizing image regions into sequences (Section 1: "based on space
+// filling curves such as the Z-curve, gray coding, or the Hilbert curve"):
+// Morton/Z-order, Gray-code order, and the Hilbert curve on a 2^k × 2^k
+// grid, plus helpers that turn a grid of feature vectors into a
+// multidimensional data sequence in curve order.
+package curve
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Order names a linearization.
+type Order int
+
+const (
+	// RowMajor is plain scanline order (baseline, no locality).
+	RowMajor Order = iota
+	// ZOrder is the Morton curve: bit-interleaved x and y.
+	ZOrder
+	// GrayOrder is Z-order applied to Gray-coded coordinates.
+	GrayOrder
+	// HilbertOrder is the Hilbert curve, the paper's best-locality option.
+	HilbertOrder
+)
+
+// String returns the order's conventional name.
+func (o Order) String() string {
+	switch o {
+	case RowMajor:
+		return "row-major"
+	case ZOrder:
+		return "z-order"
+	case GrayOrder:
+		return "gray"
+	case HilbertOrder:
+		return "hilbert"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// ZEncode interleaves the low 16 bits of x and y (x in even positions).
+func ZEncode(x, y uint32) uint64 {
+	return spread(x) | spread(y)<<1
+}
+
+// ZDecode inverts ZEncode.
+func ZDecode(z uint64) (x, y uint32) {
+	return compact(z), compact(z >> 1)
+}
+
+// spread inserts a zero bit above every bit of v's low 16 bits.
+func spread(v uint32) uint64 {
+	x := uint64(v) & 0xFFFF
+	x = (x | x<<8) & 0x00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F
+	x = (x | x<<2) & 0x33333333
+	x = (x | x<<1) & 0x55555555
+	return x
+}
+
+func compact(z uint64) uint32 {
+	x := z & 0x55555555
+	x = (x | x>>1) & 0x33333333
+	x = (x | x>>2) & 0x0F0F0F0F
+	x = (x | x>>4) & 0x00FF00FF
+	x = (x | x>>8) & 0x0000FFFF
+	return uint32(x)
+}
+
+// GrayEncode returns the reflected binary Gray code of v.
+func GrayEncode(v uint32) uint32 { return v ^ (v >> 1) }
+
+// GrayDecode inverts GrayEncode.
+func GrayDecode(g uint32) uint32 {
+	v := g
+	for shift := uint(1); shift < 32; shift <<= 1 {
+		v ^= v >> shift
+	}
+	return v
+}
+
+// HilbertD2XY converts a distance d along the Hilbert curve of order k
+// (grid side n = 2^k) to grid coordinates.
+func HilbertD2XY(k uint, d uint64) (x, y uint32) {
+	n := uint64(1) << k
+	t := d
+	var rx, ry uint64
+	var xx, yy uint64
+	for s := uint64(1); s < n; s *= 2 {
+		rx = 1 & (t / 2)
+		ry = 1 & (t ^ rx)
+		xx, yy = hilbertRot(s, xx, yy, rx, ry)
+		xx += s * rx
+		yy += s * ry
+		t /= 4
+	}
+	return uint32(xx), uint32(yy)
+}
+
+// HilbertXY2D converts grid coordinates to a distance along the Hilbert
+// curve of order k.
+func HilbertXY2D(k uint, x, y uint32) uint64 {
+	n := uint64(1) << k
+	var d uint64
+	xx, yy := uint64(x), uint64(y)
+	for s := n / 2; s > 0; s /= 2 {
+		var rx, ry uint64
+		if xx&s > 0 {
+			rx = 1
+		}
+		if yy&s > 0 {
+			ry = 1
+		}
+		d += s * s * ((3 * rx) ^ ry)
+		xx, yy = hilbertRot(s, xx, yy, rx, ry)
+	}
+	return d
+}
+
+func hilbertRot(s, x, y, rx, ry uint64) (uint64, uint64) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// GridPath returns the (x, y) visit order of every cell of a side×side
+// grid under the given linearization. For ZOrder, GrayOrder and
+// HilbertOrder the side must be a power of two.
+func GridPath(side int, order Order) ([][2]int, error) {
+	if side < 1 {
+		return nil, fmt.Errorf("curve: invalid side %d", side)
+	}
+	cells := side * side
+	out := make([][2]int, 0, cells)
+	switch order {
+	case RowMajor:
+		for y := 0; y < side; y++ {
+			for x := 0; x < side; x++ {
+				out = append(out, [2]int{x, y})
+			}
+		}
+		return out, nil
+	case ZOrder, GrayOrder:
+		if !isPow2(side) {
+			return nil, fmt.Errorf("curve: %v needs power-of-two side, got %d", order, side)
+		}
+		for d := uint64(0); d < uint64(cells); d++ {
+			x, y := ZDecode(d)
+			if order == GrayOrder {
+				x, y = GrayDecode(x), GrayDecode(y)
+			}
+			out = append(out, [2]int{int(x), int(y)})
+		}
+		return out, nil
+	case HilbertOrder:
+		if !isPow2(side) {
+			return nil, fmt.Errorf("curve: hilbert needs power-of-two side, got %d", side)
+		}
+		k := uint(0)
+		for 1<<k < side {
+			k++
+		}
+		for d := uint64(0); d < uint64(cells); d++ {
+			x, y := HilbertD2XY(k, d)
+			out = append(out, [2]int{int(x), int(y)})
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("curve: unknown order %v", order)
+	}
+}
+
+// LinearizeGrid turns a side×side grid of feature vectors (indexed
+// features[y][x]) into a sequence visiting cells in curve order — the
+// paper's "image … segmented to a number of regions that can be ordered
+// appropriately, based on space filling curves".
+func LinearizeGrid(features [][]geom.Point, order Order) (*core.Sequence, error) {
+	side := len(features)
+	for y, row := range features {
+		if len(row) != side {
+			return nil, fmt.Errorf("curve: row %d has %d cells, want %d (square grid required)", y, len(row), side)
+		}
+	}
+	path, err := GridPath(side, order)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]geom.Point, len(path))
+	for i, xy := range path {
+		pts[i] = features[xy[1]][xy[0]]
+	}
+	return &core.Sequence{Points: pts}, nil
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }

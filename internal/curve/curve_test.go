@@ -1,0 +1,184 @@
+package curve
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestZEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		x := rng.Uint32() & 0xFFFF
+		y := rng.Uint32() & 0xFFFF
+		gx, gy := ZDecode(ZEncode(x, y))
+		if gx != x || gy != y {
+			t.Fatalf("round trip (%d,%d) -> (%d,%d)", x, y, gx, gy)
+		}
+	}
+}
+
+func TestZEncodeKnownValues(t *testing.T) {
+	// (1,0) -> 0b01 = 1 ; (0,1) -> 0b10 = 2 ; (1,1) -> 0b11 = 3
+	if ZEncode(1, 0) != 1 || ZEncode(0, 1) != 2 || ZEncode(1, 1) != 3 {
+		t.Errorf("ZEncode basics: %d %d %d", ZEncode(1, 0), ZEncode(0, 1), ZEncode(1, 1))
+	}
+	if ZEncode(2, 0) != 4 || ZEncode(0, 2) != 8 {
+		t.Errorf("ZEncode second bit: %d %d", ZEncode(2, 0), ZEncode(0, 2))
+	}
+}
+
+func TestGrayCodeRoundTrip(t *testing.T) {
+	for v := uint32(0); v < 4096; v++ {
+		if got := GrayDecode(GrayEncode(v)); got != v {
+			t.Fatalf("gray round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestGrayCodeAdjacency(t *testing.T) {
+	// Consecutive Gray codes differ in exactly one bit.
+	for v := uint32(0); v < 1024; v++ {
+		diff := GrayEncode(v) ^ GrayEncode(v+1)
+		if diff == 0 || diff&(diff-1) != 0 {
+			t.Fatalf("gray(%d)^gray(%d) = %b, want single bit", v, v+1, diff)
+		}
+	}
+}
+
+func TestHilbertRoundTrip(t *testing.T) {
+	for _, k := range []uint{1, 2, 3, 4, 5} {
+		n := uint64(1) << k
+		seen := make(map[[2]uint32]bool)
+		for d := uint64(0); d < n*n; d++ {
+			x, y := HilbertD2XY(k, d)
+			if uint64(x) >= n || uint64(y) >= n {
+				t.Fatalf("k=%d d=%d out of grid: (%d,%d)", k, d, x, y)
+			}
+			if seen[[2]uint32{x, y}] {
+				t.Fatalf("k=%d d=%d revisits (%d,%d)", k, d, x, y)
+			}
+			seen[[2]uint32{x, y}] = true
+			if back := HilbertXY2D(k, x, y); back != d {
+				t.Fatalf("k=%d xy2d(d2xy(%d)) = %d", k, d, back)
+			}
+		}
+	}
+}
+
+func TestHilbertContinuity(t *testing.T) {
+	// The Hilbert curve moves exactly one grid step at a time.
+	const k = 4
+	px, py := HilbertD2XY(k, 0)
+	for d := uint64(1); d < 1<<(2*k); d++ {
+		x, y := HilbertD2XY(k, d)
+		dx, dy := int(x)-int(px), int(y)-int(py)
+		if dx*dx+dy*dy != 1 {
+			t.Fatalf("d=%d jumps from (%d,%d) to (%d,%d)", d, px, py, x, y)
+		}
+		px, py = x, y
+	}
+}
+
+func TestGridPathCoversEveryCellOnce(t *testing.T) {
+	for _, order := range []Order{RowMajor, ZOrder, GrayOrder, HilbertOrder} {
+		path, err := GridPath(8, order)
+		if err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+		if len(path) != 64 {
+			t.Fatalf("%v: %d cells", order, len(path))
+		}
+		seen := make(map[[2]int]bool)
+		for _, xy := range path {
+			if xy[0] < 0 || xy[0] >= 8 || xy[1] < 0 || xy[1] >= 8 {
+				t.Fatalf("%v: cell %v out of grid", order, xy)
+			}
+			if seen[xy] {
+				t.Fatalf("%v: cell %v visited twice", order, xy)
+			}
+			seen[xy] = true
+		}
+	}
+}
+
+func TestGridPathValidation(t *testing.T) {
+	if _, err := GridPath(0, RowMajor); err == nil {
+		t.Error("side 0 accepted")
+	}
+	if _, err := GridPath(6, HilbertOrder); err == nil {
+		t.Error("non-power-of-two hilbert accepted")
+	}
+	if _, err := GridPath(6, ZOrder); err == nil {
+		t.Error("non-power-of-two z-order accepted")
+	}
+	if _, err := GridPath(6, RowMajor); err != nil {
+		t.Errorf("row-major should accept any side: %v", err)
+	}
+	if _, err := GridPath(8, Order(99)); err == nil {
+		t.Error("unknown order accepted")
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	if RowMajor.String() != "row-major" || HilbertOrder.String() != "hilbert" {
+		t.Error("Order.String names wrong")
+	}
+	if Order(99).String() == "" {
+		t.Error("unknown order should still render")
+	}
+}
+
+func TestLinearizeGrid(t *testing.T) {
+	side := 4
+	features := make([][]geom.Point, side)
+	for y := range features {
+		features[y] = make([]geom.Point, side)
+		for x := range features[y] {
+			features[y][x] = geom.Point{float64(x) / 4, float64(y) / 4, 0.5}
+		}
+	}
+	for _, order := range []Order{RowMajor, ZOrder, GrayOrder, HilbertOrder} {
+		seq, err := LinearizeGrid(features, order)
+		if err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+		if seq.Len() != side*side {
+			t.Fatalf("%v: %d points", order, seq.Len())
+		}
+	}
+	// Ragged grid rejected.
+	features[2] = features[2][:2]
+	if _, err := LinearizeGrid(features, RowMajor); err == nil {
+		t.Error("ragged grid accepted")
+	}
+}
+
+// TestHilbertLocalityBeatsRowMajor measures total trail length of a smooth
+// 2-D field linearized each way: the Hilbert order must yield a shorter
+// trail, which is why the paper prefers it for region sequences.
+func TestHilbertLocalityBeatsRowMajor(t *testing.T) {
+	side := 16
+	features := make([][]geom.Point, side)
+	for y := range features {
+		features[y] = make([]geom.Point, side)
+		for x := range features[y] {
+			features[y][x] = geom.Point{float64(x) / float64(side), float64(y) / float64(side), 0}
+		}
+	}
+	trail := func(order Order) float64 {
+		seq, err := LinearizeGrid(features, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for i := 1; i < seq.Len(); i++ {
+			total += seq.Points[i].Dist(seq.Points[i-1])
+		}
+		return total
+	}
+	if h, r := trail(HilbertOrder), trail(RowMajor); h >= r {
+		t.Errorf("hilbert trail %g >= row-major trail %g", h, r)
+	}
+}

@@ -1,0 +1,238 @@
+package experiment
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/core"
+)
+
+// MCostRow is one row of the Q_k+ε partitioning-constant sweep (the paper
+// fixes 0.3 "since it demonstrates the best partitioning by an extensive
+// experiment"; this ablation regenerates that claim's evidence).
+type MCostRow struct {
+	QueryExtent float64
+	AvgMBRs     float64       // mean MBRs per sequence (index size driver)
+	PRnorm      float64       // pruning rate at the probe threshold
+	SearchTime  time.Duration // mean Search latency at the probe threshold
+}
+
+// RunMCostAblation rebuilds the database for every QueryExtent value and
+// measures partition granularity, pruning and latency at probeEps.
+func RunMCostAblation(cfg Config, extents []float64, probeEps float64) ([]MCostRow, error) {
+	data, err := GenerateData(cfg)
+	if err != nil {
+		return nil, err
+	}
+	queries := MakeQueries(cfg, data)
+	truth := ComputeTruth(queries, data)
+
+	rows := make([]MCostRow, 0, len(extents))
+	for _, qe := range extents {
+		pc := core.DefaultPartitionConfig()
+		pc.QueryExtent = qe
+		if cfg.Partition.MaxPoints > 0 {
+			pc.MaxPoints = cfg.Partition.MaxPoints
+		}
+		sub := cfg
+		sub.Partition = pc
+		row, err := probeConfig(sub, data, queries, truth, probeEps)
+		if err != nil {
+			return nil, err
+		}
+		row.QueryExtent = qe
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// MaxPointsRow is one row of the per-MBR point-cap sweep.
+type MaxPointsRow struct {
+	MaxPoints  int
+	AvgMBRs    float64
+	PRnorm     float64
+	SearchTime time.Duration
+}
+
+// RunMaxPointsAblation sweeps the partitioning cap.
+func RunMaxPointsAblation(cfg Config, caps []int, probeEps float64) ([]MaxPointsRow, error) {
+	data, err := GenerateData(cfg)
+	if err != nil {
+		return nil, err
+	}
+	queries := MakeQueries(cfg, data)
+	truth := ComputeTruth(queries, data)
+
+	rows := make([]MaxPointsRow, 0, len(caps))
+	for _, mp := range caps {
+		pc := core.DefaultPartitionConfig()
+		pc.MaxPoints = mp
+		sub := cfg
+		sub.Partition = pc
+		row, err := probeConfig(sub, data, queries, truth, probeEps)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, MaxPointsRow{
+			MaxPoints:  mp,
+			AvgMBRs:    row.AvgMBRs,
+			PRnorm:     row.PRnorm,
+			SearchTime: row.SearchTime,
+		})
+	}
+	return rows, nil
+}
+
+// FanoutRow is one row of the index-fanout sweep.
+type FanoutRow struct {
+	MaxEntries int
+	Height     int
+	PRnorm     float64
+	SearchTime time.Duration
+}
+
+// RunFanoutAblation sweeps the R*-tree node capacity. Pruning rates are
+// fanout-independent (the predicate is identical); latency is not.
+func RunFanoutAblation(cfg Config, fanouts []int, probeEps float64) ([]FanoutRow, error) {
+	data, err := GenerateData(cfg)
+	if err != nil {
+		return nil, err
+	}
+	queries := MakeQueries(cfg, data)
+	truth := ComputeTruth(queries, data)
+
+	rows := make([]FanoutRow, 0, len(fanouts))
+	for _, f := range fanouts {
+		db, err := core.NewDatabase(core.Options{Dim: cfg.Dim, Partition: cfg.Partition, MaxEntries: f})
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range data {
+			if _, err := db.Add(s); err != nil {
+				db.Close()
+				return nil, err
+			}
+		}
+		b := &Bench{Config: cfg, DB: db, Data: data, Queries: queries, Truth: truth}
+		b.Config.Thresholds = []float64{probeEps}
+		pr, err := RunPruning(b)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		var total time.Duration
+		for _, q := range queries {
+			t0 := time.Now()
+			if _, _, err := db.Search(q, probeEps); err != nil {
+				db.Close()
+				return nil, err
+			}
+			total += time.Since(t0)
+		}
+		rows = append(rows, FanoutRow{
+			MaxEntries: f,
+			Height:     db.IndexHeight(),
+			PRnorm:     pr[0].PRnorm,
+			SearchTime: total / time.Duration(len(queries)),
+		})
+		db.Close()
+	}
+	return rows, nil
+}
+
+// DimRow is one row of the dimensionality sweep. The paper fixes 3
+// dimensions "for convenience" and notes any dimensionality works; this
+// ablation shows how pruning and cost move with the feature dimension.
+type DimRow struct {
+	Dim        int
+	AvgMBRs    float64
+	PRnorm     float64
+	AvgRel     float64 // relevant sequences at the probe threshold
+	SearchTime time.Duration
+}
+
+// RunDimAblation rebuilds the synthetic workload at each dimensionality.
+// The probe threshold is scaled by sqrt(dim/3) so selectivity stays
+// roughly comparable as the unit cube's diagonal grows.
+func RunDimAblation(cfg Config, dims []int, probeEps float64) ([]DimRow, error) {
+	rows := make([]DimRow, 0, len(dims))
+	for _, dim := range dims {
+		sub := cfg
+		sub.Dim = dim
+		sub.Workload = Synthetic
+		data, err := GenerateData(sub)
+		if err != nil {
+			return nil, err
+		}
+		db, err := core.NewDatabase(core.Options{Dim: dim, Partition: sub.Partition})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := db.AddAll(data); err != nil {
+			db.Close()
+			return nil, err
+		}
+		queries := MakeQueries(sub, data)
+		truth := ComputeTruth(queries, data)
+		b := &Bench{Config: sub, DB: db, Data: data, Queries: queries, Truth: truth}
+		eps := probeEps * math.Sqrt(float64(dim)/3)
+		b.Config.Thresholds = []float64{eps}
+		pr, err := RunPruning(b)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		var total time.Duration
+		for _, q := range queries {
+			t0 := time.Now()
+			if _, _, err := db.Search(q, eps); err != nil {
+				db.Close()
+				return nil, err
+			}
+			total += time.Since(t0)
+		}
+		rows = append(rows, DimRow{
+			Dim:        dim,
+			AvgMBRs:    float64(db.NumMBRs()) / float64(len(data)),
+			PRnorm:     pr[0].PRnorm,
+			AvgRel:     pr[0].AvgRel,
+			SearchTime: total / time.Duration(len(queries)),
+		})
+		db.Close()
+	}
+	return rows, nil
+}
+
+// probeConfig builds a database for sub's partition settings (reusing the
+// provided data/queries/truth) and measures one MCost-style row.
+func probeConfig(sub Config, data, queries []*core.Sequence, truth [][][]float64, probeEps float64) (MCostRow, error) {
+	db, err := core.NewDatabase(core.Options{Dim: sub.Dim, Partition: sub.Partition})
+	if err != nil {
+		return MCostRow{}, err
+	}
+	defer db.Close()
+	for _, s := range data {
+		if _, err := db.Add(s); err != nil {
+			return MCostRow{}, err
+		}
+	}
+	b := &Bench{Config: sub, DB: db, Data: data, Queries: queries, Truth: truth}
+	b.Config.Thresholds = []float64{probeEps}
+	pr, err := RunPruning(b)
+	if err != nil {
+		return MCostRow{}, err
+	}
+	var total time.Duration
+	for _, q := range queries {
+		t0 := time.Now()
+		if _, _, err := db.Search(q, probeEps); err != nil {
+			return MCostRow{}, err
+		}
+		total += time.Since(t0)
+	}
+	return MCostRow{
+		AvgMBRs:    float64(db.NumMBRs()) / float64(len(data)),
+		PRnorm:     pr[0].PRnorm,
+		SearchTime: total / time.Duration(len(queries)),
+	}, nil
+}

@@ -1,0 +1,141 @@
+// Package experiment reproduces the paper's evaluation (Section 4): it
+// builds the Table 2 workloads, generates queries, computes exact ground
+// truth with the sequential scan, and measures the pruning rates, solution
+// interval quality, and response-time ratios of Figures 6–10, plus
+// ablations over the design constants of Section 3.4.3.
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Workload selects the data generator.
+type Workload int
+
+const (
+	// Synthetic is the fractal midpoint-displacement workload (Figure 4).
+	Synthetic Workload = iota
+	// Video is the shot-structured video feature workload (Figure 5).
+	Video
+)
+
+func (w Workload) String() string {
+	switch w {
+	case Synthetic:
+		return "synthetic"
+	case Video:
+		return "video"
+	default:
+		return fmt.Sprintf("Workload(%d)", int(w))
+	}
+}
+
+// Config mirrors the paper's Table 2 plus the knobs the paper leaves
+// implicit (query lengths, RNG seed).
+type Config struct {
+	Workload Workload
+	// Dim is the point dimensionality ("All data sets are, for
+	// convenience, 3-dimensional").
+	Dim int
+	// NumSequences is the corpus size (1600 synthetic, 1408 video).
+	NumSequences int
+	// MinLen and MaxLen bound sequence lengths ("arbitrary (56-512)").
+	MinLen, MaxLen int
+	// Thresholds is the ε sweep (0.05–0.50 step 0.05).
+	Thresholds []float64
+	// QueriesPerThreshold is the number of random queries averaged per ε
+	// (20 in the paper). The same query set is reused across thresholds —
+	// ground truth is threshold-independent.
+	QueriesPerThreshold int
+	// QueryMinLen and QueryMaxLen bound query lengths. The paper only says
+	// queries are "randomly selected"; we draw each query as a random
+	// subsequence of a random stored sequence, which guarantees non-empty
+	// ground truth at every ε (D = 0 against its source).
+	QueryMinLen, QueryMaxLen int
+	// Partition tunes the MCOST segmentation (zero → paper defaults).
+	Partition core.PartitionConfig
+	// Seed makes the whole experiment reproducible.
+	Seed int64
+}
+
+// DefaultThresholds returns the paper's ε sweep: 0.05 to 0.50 step 0.05.
+func DefaultThresholds() []float64 {
+	out := make([]float64, 10)
+	for i := range out {
+		out[i] = 0.05 * float64(i+1)
+	}
+	return out
+}
+
+// PaperSynthetic is the full-scale Table 2 synthetic configuration.
+func PaperSynthetic() Config {
+	return Config{
+		Workload:            Synthetic,
+		Dim:                 3,
+		NumSequences:        1600,
+		MinLen:              56,
+		MaxLen:              512,
+		Thresholds:          DefaultThresholds(),
+		QueriesPerThreshold: 20,
+		QueryMinLen:         28,
+		QueryMaxLen:         96,
+		Seed:                20000301, // ICDE 2000, San Diego, March 1-3
+	}
+}
+
+// PaperVideo is the full-scale Table 2 video configuration.
+func PaperVideo() Config {
+	c := PaperSynthetic()
+	c.Workload = Video
+	c.NumSequences = 1408
+	return c
+}
+
+// Scaled returns a copy of c with the corpus and query count scaled by
+// 1/factor (minimum 1 each) — for quick runs and Go benchmarks; the
+// recorded EXPERIMENTS.md numbers use factor 1.
+func (c Config) Scaled(factor int) Config {
+	if factor <= 1 {
+		return c
+	}
+	out := c
+	out.NumSequences = maxInt(1, c.NumSequences/factor)
+	out.QueriesPerThreshold = maxInt(1, c.QueriesPerThreshold/factor)
+	return out
+}
+
+func (c Config) validate() error {
+	if c.Dim < 1 {
+		return fmt.Errorf("experiment: dim %d", c.Dim)
+	}
+	if c.NumSequences < 1 {
+		return fmt.Errorf("experiment: %d sequences", c.NumSequences)
+	}
+	if c.MinLen < 1 || c.MaxLen < c.MinLen {
+		return fmt.Errorf("experiment: lengths [%d,%d]", c.MinLen, c.MaxLen)
+	}
+	if len(c.Thresholds) == 0 {
+		return fmt.Errorf("experiment: no thresholds")
+	}
+	for _, eps := range c.Thresholds {
+		if eps <= 0 {
+			return fmt.Errorf("experiment: threshold %g", eps)
+		}
+	}
+	if c.QueriesPerThreshold < 1 {
+		return fmt.Errorf("experiment: %d queries", c.QueriesPerThreshold)
+	}
+	if c.QueryMinLen < 1 || c.QueryMaxLen < c.QueryMinLen {
+		return fmt.Errorf("experiment: query lengths [%d,%d]", c.QueryMinLen, c.QueryMaxLen)
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

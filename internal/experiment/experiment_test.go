@@ -1,0 +1,446 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallConfig is a fast, deterministic configuration for tests: the same
+// machinery as the paper runs, two orders of magnitude smaller.
+func smallConfig(w Workload) Config {
+	cfg := PaperSynthetic()
+	cfg.Workload = w
+	cfg.NumSequences = 60
+	cfg.QueriesPerThreshold = 4
+	cfg.MaxLen = 200
+	cfg.QueryMaxLen = 100
+	cfg.Thresholds = []float64{0.1, 0.3, 0.5}
+	return cfg
+}
+
+func buildSmall(t *testing.T, w Workload) *Bench {
+	t.Helper()
+	b, err := Build(smallConfig(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return b
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := PaperSynthetic()
+	if err := good.validate(); err != nil {
+		t.Errorf("paper config invalid: %v", err)
+	}
+	for name, mutate := range map[string]func(*Config){
+		"dim":           func(c *Config) { c.Dim = 0 },
+		"sequences":     func(c *Config) { c.NumSequences = 0 },
+		"lengths":       func(c *Config) { c.MinLen = 100; c.MaxLen = 50 },
+		"thresholds":    func(c *Config) { c.Thresholds = nil },
+		"zeroThreshold": func(c *Config) { c.Thresholds = []float64{0} },
+		"queries":       func(c *Config) { c.QueriesPerThreshold = 0 },
+		"queryLens":     func(c *Config) { c.QueryMinLen = 0 },
+	} {
+		c := PaperSynthetic()
+		mutate(&c)
+		if err := c.validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}
+
+func TestPaperConfigsMatchTable2(t *testing.T) {
+	s := PaperSynthetic()
+	if s.NumSequences != 1600 || s.MinLen != 56 || s.MaxLen != 512 ||
+		s.QueriesPerThreshold != 20 || s.Dim != 3 {
+		t.Errorf("synthetic config drifted from Table 2: %+v", s)
+	}
+	v := PaperVideo()
+	if v.NumSequences != 1408 || v.Workload != Video {
+		t.Errorf("video config drifted from Table 2: %+v", v)
+	}
+	th := DefaultThresholds()
+	if len(th) != 10 || th[0] != 0.05 || th[9] != 0.5 {
+		t.Errorf("thresholds = %v", th)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	c := PaperSynthetic().Scaled(10)
+	if c.NumSequences != 160 || c.QueriesPerThreshold != 2 {
+		t.Errorf("Scaled(10) = %d seqs, %d queries", c.NumSequences, c.QueriesPerThreshold)
+	}
+	if got := PaperSynthetic().Scaled(1); got.NumSequences != 1600 {
+		t.Error("Scaled(1) should be identity")
+	}
+	if got := PaperSynthetic().Scaled(100000); got.NumSequences < 1 || got.QueriesPerThreshold < 1 {
+		t.Error("Scaled floor broken")
+	}
+}
+
+func TestBuildShapes(t *testing.T) {
+	for _, w := range []Workload{Synthetic, Video} {
+		b := buildSmall(t, w)
+		cfg := b.Config
+		if len(b.Data) != cfg.NumSequences {
+			t.Errorf("%v: %d data sequences", w, len(b.Data))
+		}
+		if len(b.Queries) != cfg.QueriesPerThreshold {
+			t.Errorf("%v: %d queries", w, len(b.Queries))
+		}
+		if len(b.Truth) != len(b.Queries) {
+			t.Fatalf("%v: truth shape", w)
+		}
+		for qi := range b.Truth {
+			if len(b.Truth[qi]) != len(b.Data) {
+				t.Fatalf("%v: truth[%d] covers %d sequences", w, qi, len(b.Truth[qi]))
+			}
+		}
+		if b.DB.Len() != cfg.NumSequences {
+			t.Errorf("%v: db holds %d", w, b.DB.Len())
+		}
+	}
+}
+
+func TestQueriesAreSubsequences(t *testing.T) {
+	b := buildSmall(t, Synthetic)
+	// Every query must be exactly relevant to at least one sequence (its
+	// source) at any threshold: its minimum profile distance is 0.
+	for qi := range b.Queries {
+		rel := b.RelevantAt(qi, 1e-12)
+		if len(rel) == 0 {
+			t.Errorf("query %d has no zero-distance source", qi)
+		}
+	}
+}
+
+func TestRunPruningShapesAndBounds(t *testing.T) {
+	for _, w := range []Workload{Synthetic, Video} {
+		b := buildSmall(t, w)
+		rows, err := RunPruning(b)
+		if err != nil {
+			t.Fatalf("%v: %v", w, err)
+		}
+		if len(rows) != len(b.Config.Thresholds) {
+			t.Fatalf("%v: %d rows", w, len(rows))
+		}
+		for i, r := range rows {
+			if r.Eps != b.Config.Thresholds[i] {
+				t.Errorf("%v: row %d eps %g", w, i, r.Eps)
+			}
+			if r.PRmbr < 0 || r.PRmbr > 1 || r.PRnorm < 0 || r.PRnorm > 1 {
+				t.Errorf("%v: pruning rates out of [0,1]: %+v", w, r)
+			}
+			// Dnorm retrieves a subset of Dmbr's candidates, so its
+			// pruning rate cannot be lower.
+			if r.PRnorm < r.PRmbr-1e-9 {
+				t.Errorf("%v: PRnorm %g < PRmbr %g at eps %g", w, r.PRnorm, r.PRmbr, r.Eps)
+			}
+			if r.AvgMatches > r.AvgCands+1e-9 {
+				t.Errorf("%v: avg matches %g > avg candidates %g", w, r.AvgMatches, r.AvgCands)
+			}
+			if r.AvgRel > r.AvgMatches+1e-9 {
+				t.Errorf("%v: avg relevant %g > avg matches %g (false dismissal?)", w, r.AvgRel, r.AvgMatches)
+			}
+		}
+	}
+}
+
+func TestRunSolutionIntervalBounds(t *testing.T) {
+	for _, w := range []Workload{Synthetic, Video} {
+		b := buildSmall(t, w)
+		rows, err := RunSolutionInterval(b)
+		if err != nil {
+			t.Fatalf("%v: %v", w, err)
+		}
+		for _, r := range rows {
+			if r.Recall < 0 || r.Recall > 1+1e-9 {
+				t.Errorf("%v: recall %g at eps %g", w, r.Recall, r.Eps)
+			}
+			// Regression guard only: at this tiny scale (4 queries, 60
+			// sequences) recall is noisy; the full-scale reproduction in
+			// EXPERIMENTS.md lands in the paper's 0.95-1.0 band.
+			if r.Recall < 0.85 {
+				t.Errorf("%v: recall %g below 0.85 at eps %g (paper reports ~0.98+)", w, r.Recall, r.Eps)
+			}
+		}
+	}
+}
+
+func TestRunResponseTime(t *testing.T) {
+	b := buildSmall(t, Synthetic)
+	rows, err := RunResponseTime(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ScanTime <= 0 || r.SearchTime <= 0 {
+			t.Errorf("non-positive times: %+v", r)
+		}
+		if r.Ratio <= 0 {
+			t.Errorf("ratio %g at eps %g", r.Ratio, r.Eps)
+		}
+	}
+}
+
+func TestRunMCostAblation(t *testing.T) {
+	cfg := smallConfig(Synthetic)
+	cfg.NumSequences = 30
+	cfg.QueriesPerThreshold = 2
+	rows, err := RunMCostAblation(cfg, []float64{0.1, 0.3, 0.6}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Larger extent amortizes more, so the MBR count per sequence must be
+	// non-increasing across the sweep.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].AvgMBRs > rows[i-1].AvgMBRs+1e-9 {
+			t.Errorf("AvgMBRs not monotone: %v", rows)
+		}
+	}
+}
+
+func TestRunMaxPointsAblation(t *testing.T) {
+	cfg := smallConfig(Synthetic)
+	cfg.NumSequences = 30
+	cfg.QueriesPerThreshold = 2
+	rows, err := RunMaxPointsAblation(cfg, []int{8, 64}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].AvgMBRs < rows[1].AvgMBRs {
+		t.Errorf("tighter cap should produce more MBRs: %v", rows)
+	}
+}
+
+func TestRunFanoutAblation(t *testing.T) {
+	cfg := smallConfig(Synthetic)
+	cfg.NumSequences = 30
+	cfg.QueriesPerThreshold = 2
+	rows, err := RunFanoutAblation(cfg, []int{8, 64}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Height < rows[1].Height {
+		t.Errorf("smaller fanout should not be shallower: %v", rows)
+	}
+	// The pruning predicate is fanout-independent.
+	if rows[0].PRnorm != rows[1].PRnorm {
+		t.Errorf("pruning rate changed with fanout: %v vs %v", rows[0].PRnorm, rows[1].PRnorm)
+	}
+}
+
+func TestReports(t *testing.T) {
+	b := buildSmall(t, Synthetic)
+	pr, err := RunPruning(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WritePruningReport(&sb, "Figure 6", pr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Figure 6") || !strings.Contains(sb.String(), "PR(Dnorm)") {
+		t.Errorf("pruning report malformed:\n%s", sb.String())
+	}
+	sb.Reset()
+	si, err := RunSolutionInterval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSIReport(&sb, "Figure 8", si); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Recall") {
+		t.Error("SI report missing recall column")
+	}
+	sb.Reset()
+	tr, err := RunResponseTime(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTimeReport(&sb, "Figure 10", tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ratio") {
+		t.Error("time report missing ratio column")
+	}
+	sb.Reset()
+	if err := WriteConfig(&sb, b.Config); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1600") && !strings.Contains(sb.String(), "60") {
+		t.Errorf("config report malformed:\n%s", sb.String())
+	}
+}
+
+func TestRunScalability(t *testing.T) {
+	cfg := smallConfig(Synthetic)
+	cfg.QueriesPerThreshold = 2
+	rows, err := RunScalability(cfg, []int{20, 40}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[1].Sequences != 40 || rows[1].MBRs <= rows[0].MBRs {
+		t.Errorf("MBR count should grow with corpus: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.BuildTime <= 0 || r.SearchTime <= 0 || r.ScanTime <= 0 {
+			t.Errorf("non-positive timing: %+v", r)
+		}
+		if r.IndexHeight < 1 {
+			t.Errorf("height %d", r.IndexHeight)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteScalabilityReport(&sb, "Scalability", rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ratio") {
+		t.Error("report missing ratio column")
+	}
+}
+
+func TestRunDimAblation(t *testing.T) {
+	cfg := smallConfig(Synthetic)
+	cfg.NumSequences = 25
+	cfg.QueriesPerThreshold = 2
+	rows, err := RunDimAblation(cfg, []int{1, 3, 5}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.PRnorm < 0 || r.PRnorm > 1 {
+			t.Errorf("dim %d PRnorm %g", r.Dim, r.PRnorm)
+		}
+		if r.AvgMBRs <= 0 || r.SearchTime <= 0 {
+			t.Errorf("dim %d row incomplete: %+v", r.Dim, r)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteDimReport(&sb, "Dims", rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "dim") {
+		t.Error("report malformed")
+	}
+}
+
+func TestRunNoiseSweep(t *testing.T) {
+	cfg := smallConfig(Video)
+	cfg.NumSequences = 30
+	cfg.QueriesPerThreshold = 3
+	rows, err := RunNoiseSweep(cfg, []float64{0, 0.05}, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Smoke-level floor only: at 30 sequences / 3 queries recall is very
+	// noisy; full-scale numbers come from mdsbench.
+	if rows[0].Recall < 0.8 {
+		t.Errorf("clean-query recall = %g", rows[0].Recall)
+	}
+	for _, r := range rows {
+		if r.AvgMatch > r.AvgCands+1e-9 {
+			t.Errorf("matches exceed candidates: %+v", r)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteNoiseReport(&sb, "Noise", rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "noise") {
+		t.Error("report malformed")
+	}
+}
+
+func TestRunIOCost(t *testing.T) {
+	cfg := smallConfig(Synthetic)
+	cfg.NumSequences = 30
+	cfg.QueriesPerThreshold = 2
+	cfg.Thresholds = []float64{0.1, 0.3}
+	rows, err := RunIOCost(cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.AvgFetches <= 0 {
+			t.Errorf("no page fetches at eps %g", r.Eps)
+		}
+		if r.HitRatio < 0 || r.HitRatio > 1 {
+			t.Errorf("hit ratio %g", r.HitRatio)
+		}
+	}
+	// Larger thresholds touch at least as much of the index.
+	if rows[1].AvgFetches < rows[0].AvgFetches {
+		t.Errorf("fetches decreased with eps: %+v", rows)
+	}
+	var sb strings.Builder
+	if err := WriteIOReport(&sb, "IO", rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fetches") {
+		t.Error("report malformed")
+	}
+}
+
+func TestVideoWorkloadRequiresDim3(t *testing.T) {
+	cfg := smallConfig(Video)
+	cfg.Dim = 4
+	if _, err := GenerateData(cfg); err == nil {
+		t.Error("4-dim video accepted")
+	}
+}
+
+func TestWorkloadString(t *testing.T) {
+	if Synthetic.String() != "synthetic" || Video.String() != "video" {
+		t.Error("workload names wrong")
+	}
+	if Workload(9).String() == "" {
+		t.Error("unknown workload should render")
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// EXPERIMENTS.md claims bit-for-bit reproducibility; hold it to that.
+	run := func() []PruningRow {
+		b, err := Build(smallConfig(Synthetic))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		rows, err := RunPruning(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].PRmbr != b[i].PRmbr || a[i].PRnorm != b[i].PRnorm ||
+			a[i].AvgCands != b[i].AvgCands || a[i].AvgRel != b[i].AvgRel {
+			t.Fatalf("row %d differs across identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"repro/internal/core"
+)
+
+// SIRow is one ε row of Figure 8/9: the pruning efficiency and recall of
+// the Dnorm-approximated solution interval against the exact one.
+//
+// Per the paper (Section 4.2.2), with Ptotal the points of a sequence,
+// Pscan the exact solution points and Pnorm the approximated ones:
+//
+//	PR_SI  = (|Ptotal| − |Pnorm|) / (|Ptotal| − |Pscan|)
+//	Recall = |Pscan ∩ Pnorm| / |Pscan|
+type SIRow struct {
+	Eps     float64
+	PRsi    float64
+	Recall  float64
+	Queries int // queries contributing non-empty denominators
+}
+
+// RunSolutionInterval measures Figure 8 (synthetic) / Figure 9 (video).
+// Counts aggregate over the sequences that are exactly relevant to each
+// query — the sequences a user would actually browse.
+func RunSolutionInterval(b *Bench) ([]SIRow, error) {
+	rows := make([]SIRow, 0, len(b.Config.Thresholds))
+	for _, eps := range b.Config.Thresholds {
+		var row SIRow
+		row.Eps = eps
+		var prSum, recallSum float64
+		var prN, recallN int
+		for qi, q := range b.Queries {
+			matches, _, err := b.DB.Search(q, eps)
+			if err != nil {
+				return nil, err
+			}
+			approx := make(map[uint32]*core.IntervalSet, len(matches))
+			for i := range matches {
+				approx[matches[i].SeqID] = &matches[i].Interval
+			}
+			// Aggregate over every sequence the user might browse: those
+			// that are exactly relevant plus those phase 3 returned (false
+			// alarms still cost browsing and count against PR_SI).
+			var total, scan, norm, inter int
+			for si := range b.Data {
+				exact := b.ExactInterval(qi, si, eps)
+				nscan := exact.NumPoints()
+				a, matched := approx[uint32(si)]
+				if nscan == 0 && !matched {
+					continue
+				}
+				total += b.Data[si].Len()
+				scan += nscan
+				if matched {
+					norm += a.NumPoints()
+					inter += exact.IntersectCount(a)
+				}
+			}
+			if scan > 0 {
+				recallSum += float64(inter) / float64(scan)
+				recallN++
+			}
+			if total-scan > 0 {
+				prSum += float64(total-norm) / float64(total-scan)
+				prN++
+			}
+		}
+		if prN > 0 {
+			row.PRsi = prSum / float64(prN)
+			row.Queries = prN
+		}
+		if recallN > 0 {
+			row.Recall = recallSum / float64(recallN)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"fmt"
+)
+
+// PruningRow is one ε row of Figure 6/7: the average pruning rates of the
+// Dmbr-only candidate set and the Dnorm-filtered result set, measured
+// against the exact relevant set.
+//
+// The paper's definition (Section 4.2.1):
+//
+//	PR = (|total| − |retrieved|) / (|total| − |relevant|)
+type PruningRow struct {
+	Eps        float64
+	PRmbr      float64 // pruning rate using ASmbr as "retrieved"
+	PRnorm     float64 // pruning rate using ASnorm as "retrieved"
+	AvgCands   float64 // mean |ASmbr| per query
+	AvgMatches float64 // mean |ASnorm| per query
+	AvgRel     float64 // mean |relevant| per query
+	Queries    int     // queries contributing (denominator > 0)
+}
+
+// RunPruning measures Figure 6 (synthetic) / Figure 7 (video): for every
+// threshold, issue every query through phases 1–3 and average the pruning
+// rates. It also hard-checks the no-false-dismissal guarantee and returns
+// an error if it is ever violated.
+func RunPruning(b *Bench) ([]PruningRow, error) {
+	total := float64(len(b.Data))
+	rows := make([]PruningRow, 0, len(b.Config.Thresholds))
+	for _, eps := range b.Config.Thresholds {
+		var row PruningRow
+		row.Eps = eps
+		var prMbrSum, prNormSum float64
+		for qi, q := range b.Queries {
+			relevant := b.RelevantAt(qi, eps)
+			cands, err := b.DB.CandidatesDmbr(q, eps)
+			if err != nil {
+				return nil, err
+			}
+			matches, _, err := b.DB.Search(q, eps)
+			if err != nil {
+				return nil, err
+			}
+			matchSet := make(map[uint32]bool, len(matches))
+			for _, m := range matches {
+				matchSet[m.SeqID] = true
+			}
+			for id := range relevant {
+				if !cands[id] {
+					return nil, fmt.Errorf("experiment: FALSE DISMISSAL by Dmbr: query %d, sequence %d, eps %g", qi, id, eps)
+				}
+				if !matchSet[id] {
+					return nil, fmt.Errorf("experiment: FALSE DISMISSAL by Dnorm: query %d, sequence %d, eps %g", qi, id, eps)
+				}
+			}
+			row.AvgCands += float64(len(cands))
+			row.AvgMatches += float64(len(matches))
+			row.AvgRel += float64(len(relevant))
+			denom := total - float64(len(relevant))
+			if denom <= 0 {
+				// Everything is relevant: nothing can be pruned; the query
+				// contributes no pruning-rate sample (paper averages over
+				// queries where pruning is defined).
+				continue
+			}
+			prMbrSum += (total - float64(len(cands))) / denom
+			prNormSum += (total - float64(len(matches))) / denom
+			row.Queries++
+		}
+		nq := float64(len(b.Queries))
+		row.AvgCands /= nq
+		row.AvgMatches /= nq
+		row.AvgRel /= nq
+		if row.Queries > 0 {
+			row.PRmbr = prMbrSum / float64(row.Queries)
+			row.PRnorm = prNormSum / float64(row.Queries)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// WritePruningReport renders Figure 6/7-style rows as a text table.
+func WritePruningReport(w io.Writer, title string, rows []PruningRow) error {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "eps\tPR(Dmbr)\tPR(Dnorm)\tavg|ASmbr|\tavg|ASnorm|\tavg|relevant|")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f\t%.4f\t%.4f\t%.1f\t%.1f\t%.1f\n",
+			r.Eps, r.PRmbr, r.PRnorm, r.AvgCands, r.AvgMatches, r.AvgRel)
+	}
+	return tw.Flush()
+}
+
+// WriteSIReport renders Figure 8/9-style rows.
+func WriteSIReport(w io.Writer, title string, rows []SIRow) error {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "eps\tPruning Rate\tRecall")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f\t%.4f\t%.4f\n", r.Eps, r.PRsi, r.Recall)
+	}
+	return tw.Flush()
+}
+
+// WriteTimeReport renders Figure 10-style rows.
+func WriteTimeReport(w io.Writer, title string, rows []TimeRow) error {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "eps\tscan/query\tproposed/query\tp50\tp95\tratio (scan/proposed)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f\t%v\t%v\t%v\t%v\t%.1fx\n",
+			r.Eps, r.ScanTime, r.SearchTime, r.SearchP50, r.SearchP95, r.Ratio)
+	}
+	return tw.Flush()
+}
+
+// WriteMCostReport renders the Q_k+ε ablation.
+func WriteMCostReport(w io.Writer, title string, rows []MCostRow) error {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Qk+eps\tavg MBRs/seq\tPR(Dnorm)\tsearch/query")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f\t%.1f\t%.4f\t%v\n", r.QueryExtent, r.AvgMBRs, r.PRnorm, r.SearchTime)
+	}
+	return tw.Flush()
+}
+
+// WriteMaxPointsReport renders the per-MBR cap ablation.
+func WriteMaxPointsReport(w io.Writer, title string, rows []MaxPointsRow) error {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "max pts/MBR\tavg MBRs/seq\tPR(Dnorm)\tsearch/query")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.1f\t%.4f\t%v\n", r.MaxPoints, r.AvgMBRs, r.PRnorm, r.SearchTime)
+	}
+	return tw.Flush()
+}
+
+// WriteFanoutReport renders the index-fanout ablation.
+func WriteFanoutReport(w io.Writer, title string, rows []FanoutRow) error {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "fanout\ttree height\tPR(Dnorm)\tsearch/query")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.4f\t%v\n", r.MaxEntries, r.Height, r.PRnorm, r.SearchTime)
+	}
+	return tw.Flush()
+}
+
+// WriteDimReport renders the dimensionality sweep.
+func WriteDimReport(w io.Writer, title string, rows []DimRow) error {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dim\tavg MBRs/seq\tPR(Dnorm)\tavg relevant\tsearch/query")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.1f\t%.4f\t%.1f\t%v\n", r.Dim, r.AvgMBRs, r.PRnorm, r.AvgRel, r.SearchTime)
+	}
+	return tw.Flush()
+}
+
+// WriteScalabilityReport renders the database-size sweep.
+func WriteScalabilityReport(w io.Writer, title string, rows []ScalabilityRow) error {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "sequences\tMBRs\theight\tbuild\tsearch/query\tscan/query\tratio")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%v\t%v\t%v\t%.1fx\n",
+			r.Sequences, r.MBRs, r.IndexHeight, r.BuildTime, r.SearchTime, r.ScanTime, r.Ratio)
+	}
+	return tw.Flush()
+}
+
+// WriteNoiseReport renders the query-noise sensitivity sweep.
+func WriteNoiseReport(w io.Writer, title string, rows []NoiseRow) error {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "noise\tavg relevant\tavg |ASmbr|\tavg |ASnorm|\trecall")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.3f\t%.1f\t%.1f\t%.1f\t%.4f\n", r.Noise, r.AvgRel, r.AvgCands, r.AvgMatch, r.Recall)
+	}
+	return tw.Flush()
+}
+
+// WriteIOReport renders the page-IO cost sweep.
+func WriteIOReport(w io.Writer, title string, rows []IORow) error {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "eps\tfetches/query\treads/query\thit ratio")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f\t%.1f\t%.1f\t%.3f\n", r.Eps, r.AvgFetches, r.AvgReads, r.HitRatio)
+	}
+	return tw.Flush()
+}
+
+// WriteConfig renders a Table 2-style parameter summary.
+func WriteConfig(w io.Writer, cfg Config) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "workload\t%v\n", cfg.Workload)
+	fmt.Fprintf(tw, "# of data sequences\t%d\n", cfg.NumSequences)
+	fmt.Fprintf(tw, "length of data sequences\t%d-%d\n", cfg.MinLen, cfg.MaxLen)
+	if len(cfg.Thresholds) > 0 {
+		fmt.Fprintf(tw, "range of threshold values\t%.2f-%.2f\n",
+			cfg.Thresholds[0], cfg.Thresholds[len(cfg.Thresholds)-1])
+	}
+	fmt.Fprintf(tw, "# of query sequences per eps\t%d\n", cfg.QueriesPerThreshold)
+	fmt.Fprintf(tw, "query length\t%d-%d\n", cfg.QueryMinLen, cfg.QueryMaxLen)
+	fmt.Fprintf(tw, "dimensionality\t%d\n", cfg.Dim)
+	fmt.Fprintf(tw, "seed\t%d\n", cfg.Seed)
+	return tw.Flush()
+}

@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fractal"
+	"repro/internal/video"
+)
+
+// ScalabilityRow is one database-size point of the scalability extension:
+// how index build, search latency and the scan/search ratio evolve as the
+// corpus grows. The paper evaluates one size per workload; this sweep
+// establishes the trend.
+type ScalabilityRow struct {
+	Sequences   int
+	MBRs        int
+	BuildTime   time.Duration // partition + index
+	SearchTime  time.Duration // mean three-phase search per query
+	ScanTime    time.Duration // mean sequential scan per query
+	Ratio       float64       // scan / search
+	IndexHeight int
+}
+
+// RunScalability measures the sweep at probeEps using cfg's generator and
+// query settings. Sizes are absolute corpus sizes; queries are redrawn per
+// size from that corpus.
+func RunScalability(cfg Config, sizes []int, probeEps float64) ([]ScalabilityRow, error) {
+	rows := make([]ScalabilityRow, 0, len(sizes))
+	for _, n := range sizes {
+		sub := cfg
+		sub.NumSequences = n
+		rng := rand.New(rand.NewSource(sub.Seed))
+		var data []*core.Sequence
+		var err error
+		switch sub.Workload {
+		case Video:
+			data, err = video.GenerateSet(rng, n, sub.MinLen, sub.MaxLen, video.DefaultStreamConfig())
+		default:
+			data, err = fractal.GenerateSet(rng, n, sub.MinLen, sub.MaxLen, fractal.DefaultConfig())
+		}
+		if err != nil {
+			return nil, err
+		}
+
+		t0 := time.Now()
+		db, err := core.NewDatabase(core.Options{Dim: sub.Dim, Partition: sub.Partition})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := db.AddAll(data); err != nil {
+			db.Close()
+			return nil, err
+		}
+		build := time.Since(t0)
+
+		queries := MakeQueries(sub, data)
+		var searchTotal, scanTotal time.Duration
+		for _, q := range queries {
+			t1 := time.Now()
+			if _, _, err := db.Search(q, probeEps); err != nil {
+				db.Close()
+				return nil, err
+			}
+			searchTotal += time.Since(t1)
+			t2 := time.Now()
+			if _, err := db.SequentialSearch(q, probeEps); err != nil {
+				db.Close()
+				return nil, err
+			}
+			scanTotal += time.Since(t2)
+		}
+		nq := time.Duration(len(queries))
+		row := ScalabilityRow{
+			Sequences:   n,
+			MBRs:        db.NumMBRs(),
+			BuildTime:   build,
+			SearchTime:  searchTotal / nq,
+			ScanTime:    scanTotal / nq,
+			IndexHeight: db.IndexHeight(),
+		}
+		if searchTotal > 0 {
+			row.Ratio = float64(scanTotal) / float64(searchTotal)
+		}
+		rows = append(rows, row)
+		db.Close()
+	}
+	return rows, nil
+}

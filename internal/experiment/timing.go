@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"time"
+
+	"repro/internal/stats"
+)
+
+// TimeRow is one ε row of Figure 10: wall-clock response times of the
+// sequential scan and the proposed method, and their ratio
+//
+//	ratio = T(sequential scan) / T(Dmbr index search + Dnorm + SI assembly)
+//
+// exactly as the paper normalizes ("a denominator represents the total
+// elapsed time for the search by both the Dmbr and Dnorm metrics").
+// Besides the means, the per-query latency distribution of the proposed
+// method is summarized by its median and 95th percentile.
+type TimeRow struct {
+	Eps        float64
+	ScanTime   time.Duration // mean per query
+	SearchTime time.Duration // mean per query
+	SearchP50  time.Duration // median per query
+	SearchP95  time.Duration // 95th percentile per query
+	Ratio      float64
+}
+
+// RunResponseTime measures Figure 10. Both sides do full work per query:
+// the scan computes exact distances and exact solution intervals over raw
+// points; the proposed method runs all three phases including interval
+// assembly.
+func RunResponseTime(b *Bench) ([]TimeRow, error) {
+	rows := make([]TimeRow, 0, len(b.Config.Thresholds))
+	for _, eps := range b.Config.Thresholds {
+		var scanTotal, searchTotal time.Duration
+		searchSamples := make([]float64, 0, len(b.Queries))
+		for _, q := range b.Queries {
+			t0 := time.Now()
+			if _, err := b.DB.SequentialSearch(q, eps); err != nil {
+				return nil, err
+			}
+			scanTotal += time.Since(t0)
+
+			t1 := time.Now()
+			if _, _, err := b.DB.Search(q, eps); err != nil {
+				return nil, err
+			}
+			d := time.Since(t1)
+			searchTotal += d
+			searchSamples = append(searchSamples, float64(d))
+		}
+		n := time.Duration(len(b.Queries))
+		p95, err := stats.Quantile(searchSamples, 0.95)
+		if err != nil {
+			return nil, err
+		}
+		row := TimeRow{
+			Eps:        eps,
+			ScanTime:   scanTotal / n,
+			SearchTime: searchTotal / n,
+			SearchP50:  time.Duration(stats.Median(searchSamples)),
+			SearchP95:  time.Duration(p95),
+		}
+		if searchTotal > 0 {
+			row.Ratio = float64(scanTotal) / float64(searchTotal)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,114 @@
+// Package fractal generates synthetic multidimensional data sequences with
+// the recursive midpoint-displacement construction of the paper's Section
+// 4.1: pick random start and end points in the unit cube, displace the
+// midpoint by dev·random(), and recurse on both halves with dev scaled
+// down — yielding self-similar trails like the paper's Figure 4.
+package fractal
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Config parameterizes the generator.
+type Config struct {
+	// Dim is the dimensionality of generated points (the paper uses 3).
+	Dim int
+	// Dev controls the displacement amplitude at the top level, in [0,1).
+	Dev float64
+	// Scale multiplies Dev at each recursion level, in [0,1).
+	Scale float64
+}
+
+// DefaultConfig mirrors the paper's setup: 3-dimensional points with a
+// moderate amplitude halving at each level.
+func DefaultConfig() Config {
+	return Config{Dim: 3, Dev: 0.5, Scale: 0.5}
+}
+
+func (c Config) validate() error {
+	if c.Dim < 1 {
+		return fmt.Errorf("fractal: invalid dim %d", c.Dim)
+	}
+	if c.Dev < 0 || c.Dev >= 1 {
+		return fmt.Errorf("fractal: Dev %g outside [0,1)", c.Dev)
+	}
+	if c.Scale < 0 || c.Scale >= 1 {
+		return fmt.Errorf("fractal: Scale %g outside [0,1)", c.Scale)
+	}
+	return nil
+}
+
+// Generate produces one sequence of exactly n points using rng. Points are
+// clamped to the unit cube.
+func Generate(rng *rand.Rand, n int, cfg Config) (*core.Sequence, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("fractal: invalid length %d", n)
+	}
+	start := randPoint(rng, cfg.Dim)
+	end := randPoint(rng, cfg.Dim)
+	pts := make([]geom.Point, 0, n)
+	pts = append(pts, start)
+	if n > 1 {
+		pts = subdivide(rng, pts, start, end, n-2, cfg.Dev*cfg.Scale, cfg.Scale)
+		pts = append(pts, end)
+	}
+	// The construction yields exactly n points: 1 start + (n-2) interior +
+	// 1 end for n >= 2.
+	if len(pts) != n {
+		return nil, fmt.Errorf("fractal: internal error: generated %d of %d points", len(pts), n)
+	}
+	return &core.Sequence{Points: pts}, nil
+}
+
+// subdivide emits `interior` points strictly between a and b, recursively:
+// the displaced midpoint splits the remaining budget between the halves.
+func subdivide(rng *rand.Rand, pts []geom.Point, a, b geom.Point, interior int, dev, scale float64) []geom.Point {
+	if interior <= 0 {
+		return pts
+	}
+	mid := a.Mid(b)
+	for k := range mid {
+		mid[k] += dev * (rng.Float64()*2 - 1)
+	}
+	mid = mid.Clamp(0, 1)
+	leftBudget := (interior - 1) / 2
+	rightBudget := interior - 1 - leftBudget
+	pts = subdivide(rng, pts, a, mid, leftBudget, dev*scale, scale)
+	pts = append(pts, mid)
+	pts = subdivide(rng, pts, mid, b, rightBudget, dev*scale, scale)
+	return pts
+}
+
+// GenerateSet produces count sequences whose lengths are drawn uniformly
+// from [minLen, maxLen] — the paper's "arbitrary (56–512 points)".
+func GenerateSet(rng *rand.Rand, count, minLen, maxLen int, cfg Config) ([]*core.Sequence, error) {
+	if count < 0 || minLen < 1 || maxLen < minLen {
+		return nil, fmt.Errorf("fractal: invalid set spec count=%d len=[%d,%d]", count, minLen, maxLen)
+	}
+	out := make([]*core.Sequence, count)
+	for i := range out {
+		n := minLen + rng.Intn(maxLen-minLen+1)
+		s, err := Generate(rng, n, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.Label = fmt.Sprintf("fractal-%04d", i)
+		out[i] = s
+	}
+	return out, nil
+}
+
+func randPoint(rng *rand.Rand, dim int) geom.Point {
+	p := make(geom.Point, dim)
+	for k := range p {
+		p[k] = rng.Float64()
+	}
+	return p
+}

@@ -1,0 +1,143 @@
+package fractal
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestGenerateLengthAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultConfig()
+	for _, n := range []int{1, 2, 3, 56, 100, 512} {
+		s, err := Generate(rng, n, cfg)
+		if err != nil {
+			t.Fatalf("Generate(%d): %v", n, err)
+		}
+		if s.Len() != n {
+			t.Errorf("length = %d, want %d", s.Len(), n)
+		}
+		if s.Dim() != 3 {
+			t.Errorf("dim = %d, want 3", s.Dim())
+		}
+		if !s.InUnitCube() {
+			t.Errorf("n=%d: points escape the unit cube", n)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := Generate(rng, 0, DefaultConfig()); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Generate(rng, 10, Config{Dim: 0, Dev: 0.5, Scale: 0.5}); err == nil {
+		t.Error("dim=0 accepted")
+	}
+	if _, err := Generate(rng, 10, Config{Dim: 3, Dev: 1.5, Scale: 0.5}); err == nil {
+		t.Error("Dev out of range accepted")
+	}
+	if _, err := Generate(rng, 10, Config{Dim: 3, Dev: 0.5, Scale: 1}); err == nil {
+		t.Error("Scale=1 accepted")
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	cfg := DefaultConfig()
+	a, _ := Generate(rand.New(rand.NewSource(7)), 64, cfg)
+	b, _ := Generate(rand.New(rand.NewSource(7)), 64, cfg)
+	for i := range a.Points {
+		if !a.Points[i].Equal(b.Points[i]) {
+			t.Fatalf("point %d differs across identical seeds", i)
+		}
+	}
+	c, _ := Generate(rand.New(rand.NewSource(8)), 64, cfg)
+	same := true
+	for i := range a.Points {
+		if !a.Points[i].Equal(c.Points[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+func TestSmallerDevYieldsSmootherTrail(t *testing.T) {
+	// Mean step length should grow with Dev: the displacement amplitude
+	// directly controls trail roughness.
+	meanStep := func(dev float64) float64 {
+		rng := rand.New(rand.NewSource(9))
+		var total float64
+		var steps int
+		for trial := 0; trial < 20; trial++ {
+			s, err := Generate(rng, 128, Config{Dim: 3, Dev: dev, Scale: 0.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i < s.Len(); i++ {
+				total += s.Points[i].Dist(s.Points[i-1])
+				steps++
+			}
+		}
+		return total / float64(steps)
+	}
+	smooth, rough := meanStep(0.05), meanStep(0.8)
+	if smooth >= rough {
+		t.Errorf("mean step: dev=0.05 -> %g, dev=0.8 -> %g; want increasing", smooth, rough)
+	}
+}
+
+func TestGenerateSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	set, err := GenerateSet(rng, 50, 56, 512, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 50 {
+		t.Fatalf("set size = %d", len(set))
+	}
+	lens := map[int]bool{}
+	for i, s := range set {
+		if s.Len() < 56 || s.Len() > 512 {
+			t.Errorf("sequence %d length %d outside [56,512]", i, s.Len())
+		}
+		if s.Label == "" {
+			t.Errorf("sequence %d without label", i)
+		}
+		lens[s.Len()] = true
+	}
+	if len(lens) < 10 {
+		t.Errorf("only %d distinct lengths in 50 draws; generator not varying", len(lens))
+	}
+}
+
+func TestGenerateSetValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	if _, err := GenerateSet(rng, -1, 10, 20, DefaultConfig()); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := GenerateSet(rng, 5, 20, 10, DefaultConfig()); err == nil {
+		t.Error("inverted length range accepted")
+	}
+}
+
+func TestGeneratedSequencesPartitionCleanly(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	cfg := core.DefaultPartitionConfig()
+	for trial := 0; trial < 20; trial++ {
+		s, err := Generate(rng, 56+rng.Intn(456), DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := core.NewSegmented(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.CheckPartition(cfg); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

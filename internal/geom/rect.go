@@ -1,0 +1,295 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Rect is an n-dimensional hyper-rectangle (an MBR), represented as the
+// paper represents it: two endpoints of its major diagonal, the low point L
+// and the high point H, with L[i] <= H[i] for every axis i.
+//
+// The zero Rect (nil slices) is "empty": it contains nothing and extending
+// it by a point yields the degenerate rectangle at that point.
+type Rect struct {
+	L, H Point
+}
+
+// NewRect builds a rectangle from its low and high corners. It returns an
+// error if the dimensions differ or any low coordinate exceeds its high.
+func NewRect(lo, hi Point) (Rect, error) {
+	if len(lo) != len(hi) {
+		return Rect{}, fmt.Errorf("%w: lo dim %d, hi dim %d", ErrDimensionMismatch, len(lo), len(hi))
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			return Rect{}, fmt.Errorf("geom: invalid rect: lo[%d]=%g > hi[%d]=%g", i, lo[i], i, hi[i])
+		}
+	}
+	return Rect{L: lo.Clone(), H: hi.Clone()}, nil
+}
+
+// MustRect is NewRect that panics on error; for literals in tests and
+// internal construction from already-validated data.
+func MustRect(lo, hi Point) Rect {
+	r, err := NewRect(lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// RectFromPoint returns the degenerate rectangle containing exactly p.
+func RectFromPoint(p Point) Rect {
+	return Rect{L: p.Clone(), H: p.Clone()}
+}
+
+// BoundingRect returns the minimum bounding rectangle of the given points.
+// It returns the empty Rect when pts is empty.
+func BoundingRect(pts []Point) Rect {
+	if len(pts) == 0 {
+		return Rect{}
+	}
+	r := RectFromPoint(pts[0])
+	for _, p := range pts[1:] {
+		r.ExtendPoint(p)
+	}
+	return r
+}
+
+// IsEmpty reports whether r is the empty rectangle.
+func (r Rect) IsEmpty() bool { return len(r.L) == 0 }
+
+// Dim returns the dimensionality of r (0 for the empty rectangle).
+func (r Rect) Dim() int { return len(r.L) }
+
+// Clone returns a deep copy of r.
+func (r Rect) Clone() Rect {
+	if r.IsEmpty() {
+		return Rect{}
+	}
+	return Rect{L: r.L.Clone(), H: r.H.Clone()}
+}
+
+// Equal reports whether r and s are the same rectangle.
+func (r Rect) Equal(s Rect) bool { return r.L.Equal(s.L) && r.H.Equal(s.H) }
+
+// Side returns the extent of r along axis k (the paper's L_k when sizing
+// MBRs for the MCOST function).
+func (r Rect) Side(k int) float64 { return r.H[k] - r.L[k] }
+
+// Center returns the center point of r.
+func (r Rect) Center() Point {
+	c := make(Point, len(r.L))
+	for i := range r.L {
+		c[i] = (r.L[i] + r.H[i]) / 2
+	}
+	return c
+}
+
+// Volume returns the n-dimensional volume of r (0 for the empty rect).
+func (r Rect) Volume() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	v := 1.0
+	for i := range r.L {
+		v *= r.H[i] - r.L[i]
+	}
+	return v
+}
+
+// Margin returns the sum of the edge lengths of r — the R*-tree split
+// criterion's "margin" (perimeter generalization).
+func (r Rect) Margin() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	var m float64
+	for i := range r.L {
+		m += r.H[i] - r.L[i]
+	}
+	return m
+}
+
+// ExtendPoint grows r in place so that it contains p.
+func (r *Rect) ExtendPoint(p Point) {
+	if r.IsEmpty() {
+		*r = RectFromPoint(p)
+		return
+	}
+	mustSameDim(r.L, p)
+	for i, v := range p {
+		if v < r.L[i] {
+			r.L[i] = v
+		}
+		if v > r.H[i] {
+			r.H[i] = v
+		}
+	}
+}
+
+// ExtendRect grows r in place so that it contains s.
+func (r *Rect) ExtendRect(s Rect) {
+	if s.IsEmpty() {
+		return
+	}
+	if r.IsEmpty() {
+		*r = s.Clone()
+		return
+	}
+	mustSameDim(r.L, s.L)
+	for i := range s.L {
+		if s.L[i] < r.L[i] {
+			r.L[i] = s.L[i]
+		}
+		if s.H[i] > r.H[i] {
+			r.H[i] = s.H[i]
+		}
+	}
+}
+
+// Union returns the minimum bounding rectangle of r and s.
+func (r Rect) Union(s Rect) Rect {
+	u := r.Clone()
+	u.ExtendRect(s)
+	return u
+}
+
+// ContainsPoint reports whether p lies inside r (boundaries inclusive).
+func (r Rect) ContainsPoint(p Point) bool {
+	if r.IsEmpty() || len(p) != len(r.L) {
+		return false
+	}
+	for i, v := range p {
+		if v < r.L[i] || v > r.H[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsRect reports whether s lies entirely inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	if r.IsEmpty() || s.IsEmpty() || r.Dim() != s.Dim() {
+		return false
+	}
+	for i := range r.L {
+		if s.L[i] < r.L[i] || s.H[i] > r.H[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether r and s share at least one point.
+func (r Rect) Intersects(s Rect) bool {
+	if r.IsEmpty() || s.IsEmpty() || r.Dim() != s.Dim() {
+		return false
+	}
+	for i := range r.L {
+		if s.H[i] < r.L[i] || s.L[i] > r.H[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectionVolume returns the volume of the overlap of r and s
+// (0 when disjoint). Used by the R*-tree split heuristics.
+func (r Rect) IntersectionVolume(s Rect) float64 {
+	if r.IsEmpty() || s.IsEmpty() || r.Dim() != s.Dim() {
+		return 0
+	}
+	v := 1.0
+	for i := range r.L {
+		lo := math.Max(r.L[i], s.L[i])
+		hi := math.Min(r.H[i], s.H[i])
+		if hi <= lo {
+			return 0
+		}
+		v *= hi - lo
+	}
+	return v
+}
+
+// Enlargement returns the volume increase of r needed to include s.
+func (r Rect) Enlargement(s Rect) float64 {
+	return r.Union(s).Volume() - r.Volume()
+}
+
+// MinDist returns the paper's Dmbr(A,B) (Definition 4): the minimum
+// Euclidean distance between two hyper-rectangles. Per axis k the gap x_k
+// is
+//
+//	l_B,k - h_A,k   if h_A,k < l_B,k   (B entirely to the right of A)
+//	l_A,k - h_B,k   if h_B,k < l_A,k   (B entirely to the left of A)
+//	0               otherwise          (the projections overlap)
+//
+// and Dmbr = sqrt(Σ x_k²). It is 0 when the rectangles intersect, matching
+// the left case of the paper's Figure 2.
+func (r Rect) MinDist(s Rect) float64 {
+	mustSameDim(r.L, s.L)
+	var sum float64
+	for k := range r.L {
+		var x float64
+		switch {
+		case r.H[k] < s.L[k]:
+			x = s.L[k] - r.H[k]
+		case s.H[k] < r.L[k]:
+			x = r.L[k] - s.H[k]
+		default:
+			x = 0
+		}
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}
+
+// MinDistPoint returns the minimum Euclidean distance from point p to
+// rectangle r (0 if p is inside r).
+func (r Rect) MinDistPoint(p Point) float64 {
+	mustSameDim(r.L, p)
+	var sum float64
+	for k, v := range p {
+		var x float64
+		switch {
+		case v < r.L[k]:
+			x = r.L[k] - v
+		case v > r.H[k]:
+			x = v - r.H[k]
+		}
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}
+
+// MaxDist returns the maximum Euclidean distance between any pair of
+// points, one in r and one in s. It upper-bounds every point-pair distance
+// and is useful for pruning diagnostics and tests.
+func (r Rect) MaxDist(s Rect) float64 {
+	mustSameDim(r.L, s.L)
+	var sum float64
+	for k := range r.L {
+		a := math.Abs(s.H[k] - r.L[k])
+		b := math.Abs(r.H[k] - s.L[k])
+		x := math.Max(a, b)
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}
+
+// String renders r as "[L -> H]".
+func (r Rect) String() string {
+	if r.IsEmpty() {
+		return "[empty]"
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	b.WriteString(r.L.String())
+	b.WriteString(" -> ")
+	b.WriteString(r.H.String())
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,200 @@
+// Package image is the image substrate for the paper's second data model
+// (Section 1, item 2): "An image is segmented to a number of regions that
+// can be ordered appropriately, based on space filling curves … This
+// ordering forms a series of regions, each of which is represented by a
+// vector of multiple feature values of a region."
+//
+// It provides an RGB raster type, grid segmentation with per-region mean
+// color features, a synthetic image generator (gradients plus colored
+// blobs), and the glue that turns a raster into a multidimensional
+// sequence in any internal/curve order.
+package image
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/curve"
+	"repro/internal/geom"
+	"repro/internal/video"
+)
+
+// Raster is a W×H image of RGB pixels (components in [0,1]), row-major.
+// It reuses video.RGB so frame and image tooling compose.
+type Raster struct {
+	W, H int
+	Pix  []video.RGB
+}
+
+// NewRaster allocates a zeroed raster.
+func NewRaster(w, h int) *Raster {
+	return &Raster{W: w, H: h, Pix: make([]video.RGB, w*h)}
+}
+
+// At returns the pixel at (x, y).
+func (r *Raster) At(x, y int) video.RGB { return r.Pix[y*r.W+x] }
+
+// Set writes the pixel at (x, y).
+func (r *Raster) Set(x, y int, c video.RGB) { r.Pix[y*r.W+x] = c }
+
+// GridFeatures segments the raster into a side×side grid of regions and
+// returns each region's mean color as a 3-dimensional feature point,
+// indexed features[gy][gx]. The raster dimensions must be divisible by
+// side.
+func GridFeatures(r *Raster, side int) ([][]geom.Point, error) {
+	if side < 1 {
+		return nil, fmt.Errorf("image: invalid grid side %d", side)
+	}
+	if r.W%side != 0 || r.H%side != 0 {
+		return nil, fmt.Errorf("image: %dx%d raster not divisible into %dx%d grid", r.W, r.H, side, side)
+	}
+	cw, ch := r.W/side, r.H/side
+	out := make([][]geom.Point, side)
+	for gy := 0; gy < side; gy++ {
+		out[gy] = make([]geom.Point, side)
+		for gx := 0; gx < side; gx++ {
+			var cr, cg, cb float64
+			for y := gy * ch; y < (gy+1)*ch; y++ {
+				for x := gx * cw; x < (gx+1)*cw; x++ {
+					px := r.At(x, y)
+					cr += px.R
+					cg += px.G
+					cb += px.B
+				}
+			}
+			n := float64(cw * ch)
+			out[gy][gx] = geom.Point{cr / n, cg / n, cb / n}
+		}
+	}
+	return out, nil
+}
+
+// ToSequence segments the raster into a side×side region grid and orders
+// the region features along the given space-filling curve — the complete
+// image-to-sequence pipeline of the paper's Section 1.
+func ToSequence(r *Raster, side int, order curve.Order) (*core.Sequence, error) {
+	features, err := GridFeatures(r, side)
+	if err != nil {
+		return nil, err
+	}
+	return curve.LinearizeGrid(features, order)
+}
+
+// SynthConfig controls the synthetic image generator.
+type SynthConfig struct {
+	// W and H size the raster (defaults 64×64).
+	W, H int
+	// MinBlobs and MaxBlobs bound the number of colored discs
+	// (defaults 2 and 5).
+	MinBlobs, MaxBlobs int
+	// Noise is per-pixel uniform noise (default 0.01).
+	Noise float64
+}
+
+// DefaultSynthConfig returns the documented defaults.
+func DefaultSynthConfig() SynthConfig {
+	return SynthConfig{W: 64, H: 64, MinBlobs: 2, MaxBlobs: 5, Noise: 0.01}
+}
+
+func (c *SynthConfig) fillDefaults() {
+	d := DefaultSynthConfig()
+	if c.W == 0 {
+		c.W = d.W
+	}
+	if c.H == 0 {
+		c.H = d.H
+	}
+	if c.MinBlobs == 0 {
+		c.MinBlobs = d.MinBlobs
+	}
+	if c.MaxBlobs == 0 {
+		c.MaxBlobs = d.MaxBlobs
+	}
+	if c.Noise == 0 {
+		c.Noise = d.Noise
+	}
+}
+
+// Synthesize renders a synthetic "photograph": a smooth two-corner color
+// gradient background with a few soft-edged colored discs and pixel noise.
+func Synthesize(rng *rand.Rand, cfg SynthConfig) (*Raster, error) {
+	cfg.fillDefaults()
+	if cfg.W < 1 || cfg.H < 1 {
+		return nil, fmt.Errorf("image: invalid size %dx%d", cfg.W, cfg.H)
+	}
+	if cfg.MinBlobs < 0 || cfg.MaxBlobs < cfg.MinBlobs {
+		return nil, fmt.Errorf("image: invalid blob range [%d,%d]", cfg.MinBlobs, cfg.MaxBlobs)
+	}
+	r := NewRaster(cfg.W, cfg.H)
+	c0 := video.RGB{R: rng.Float64(), G: rng.Float64(), B: rng.Float64()}
+	c1 := video.RGB{R: rng.Float64(), G: rng.Float64(), B: rng.Float64()}
+
+	type blob struct {
+		cx, cy, rad float64
+		color       video.RGB
+	}
+	blobs := make([]blob, cfg.MinBlobs+rng.Intn(cfg.MaxBlobs-cfg.MinBlobs+1))
+	for i := range blobs {
+		blobs[i] = blob{
+			cx:    rng.Float64() * float64(cfg.W),
+			cy:    rng.Float64() * float64(cfg.H),
+			rad:   float64(cfg.W) * (0.05 + 0.15*rng.Float64()),
+			color: video.RGB{R: rng.Float64(), G: rng.Float64(), B: rng.Float64()},
+		}
+	}
+
+	for y := 0; y < cfg.H; y++ {
+		for x := 0; x < cfg.W; x++ {
+			t := (float64(x)/float64(cfg.W) + float64(y)/float64(cfg.H)) / 2
+			px := video.RGB{
+				R: c0.R*(1-t) + c1.R*t,
+				G: c0.G*(1-t) + c1.G*t,
+				B: c0.B*(1-t) + c1.B*t,
+			}
+			for _, b := range blobs {
+				dx, dy := float64(x)-b.cx, float64(y)-b.cy
+				d2 := dx*dx + dy*dy
+				if d2 < b.rad*b.rad {
+					// Soft edge: blend over the outer 30% of the radius.
+					w := 1.0
+					if frac := d2 / (b.rad * b.rad); frac > 0.49 {
+						w = (1 - frac) / 0.51
+					}
+					px.R = px.R*(1-w) + b.color.R*w
+					px.G = px.G*(1-w) + b.color.G*w
+					px.B = px.B*(1-w) + b.color.B*w
+				}
+			}
+			px.R = clamp01(px.R + cfg.Noise*(rng.Float64()*2-1))
+			px.G = clamp01(px.G + cfg.Noise*(rng.Float64()*2-1))
+			px.B = clamp01(px.B + cfg.Noise*(rng.Float64()*2-1))
+			r.Set(x, y, px)
+		}
+	}
+	return r, nil
+}
+
+// Crop returns a copy of the rectangle [x0,x0+w)×[y0,y0+h).
+func (r *Raster) Crop(x0, y0, w, h int) (*Raster, error) {
+	if x0 < 0 || y0 < 0 || w < 1 || h < 1 || x0+w > r.W || y0+h > r.H {
+		return nil, fmt.Errorf("image: crop [%d,%d,%d,%d] outside %dx%d", x0, y0, w, h, r.W, r.H)
+	}
+	out := NewRaster(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out.Set(x, y, r.At(x0+x, y0+y))
+		}
+	}
+	return out, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

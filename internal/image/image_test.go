@@ -1,0 +1,165 @@
+package image
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/curve"
+	"repro/internal/video"
+)
+
+func TestRasterAccessors(t *testing.T) {
+	r := NewRaster(4, 3)
+	if r.W != 4 || r.H != 3 || len(r.Pix) != 12 {
+		t.Fatalf("shape %+v", r)
+	}
+	c := video.RGB{R: 0.1, G: 0.2, B: 0.3}
+	r.Set(3, 2, c)
+	if r.At(3, 2) != c {
+		t.Error("At/Set round trip failed")
+	}
+}
+
+func TestGridFeatures(t *testing.T) {
+	// 4x4 raster split 2x2: each region is a flat color.
+	r := NewRaster(4, 4)
+	colors := []video.RGB{{R: 1}, {G: 1}, {B: 1}, {R: 1, G: 1}}
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			r.Set(x, y, colors[(y/2)*2+(x/2)])
+		}
+	}
+	features, err := GridFeatures(r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !features[0][0].Equal([]float64{1, 0, 0}) {
+		t.Errorf("region (0,0) = %v", features[0][0])
+	}
+	if !features[1][1].Equal([]float64{1, 1, 0}) {
+		t.Errorf("region (1,1) = %v", features[1][1])
+	}
+}
+
+func TestGridFeaturesValidation(t *testing.T) {
+	r := NewRaster(10, 10)
+	if _, err := GridFeatures(r, 3); err == nil {
+		t.Error("non-divisible grid accepted")
+	}
+	if _, err := GridFeatures(r, 0); err == nil {
+		t.Error("side 0 accepted")
+	}
+}
+
+func TestSynthesizeShapeAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r, err := Synthesize(rng, SynthConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.W != 64 || r.H != 64 {
+		t.Fatalf("default size %dx%d", r.W, r.H)
+	}
+	for i, px := range r.Pix {
+		for _, v := range []float64{px.R, px.G, px.B} {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %d component %g out of range", i, v)
+			}
+		}
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := Synthesize(rng, SynthConfig{W: -1, H: 8}); err == nil {
+		t.Error("negative width accepted")
+	}
+	if _, err := Synthesize(rng, SynthConfig{MinBlobs: 5, MaxBlobs: 2}); err == nil {
+		t.Error("inverted blob range accepted")
+	}
+}
+
+func TestToSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r, err := Synthesize(rng, SynthConfig{W: 64, H: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range []curve.Order{curve.RowMajor, curve.HilbertOrder, curve.ZOrder} {
+		seq, err := ToSequence(r, 16, order)
+		if err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+		if seq.Len() != 256 || seq.Dim() != 3 {
+			t.Fatalf("%v: shape (%d,%d)", order, seq.Len(), seq.Dim())
+		}
+		if err := seq.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCrop(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	r, _ := Synthesize(rng, SynthConfig{W: 32, H: 32})
+	c, err := r.Crop(8, 8, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.W != 16 || c.H != 16 {
+		t.Fatalf("crop shape %dx%d", c.W, c.H)
+	}
+	if c.At(0, 0) != r.At(8, 8) {
+		t.Error("crop content shifted")
+	}
+	if _, err := r.Crop(20, 20, 16, 16); err == nil {
+		t.Error("out-of-bounds crop accepted")
+	}
+	if _, err := r.Crop(0, 0, 0, 4); err == nil {
+		t.Error("zero-width crop accepted")
+	}
+}
+
+// TestImageRetrievalEndToEnd: index synthetic images by Hilbert-ordered
+// region sequences and retrieve an image from one of its own patches — the
+// paper's "find all images in a database that contain regions similar to
+// regions of a given image".
+func TestImageRetrievalEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	db, err := core.NewDatabase(core.Options{Dim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var seqs []*core.Sequence
+	for i := 0; i < 15; i++ {
+		r, err := Synthesize(rng, SynthConfig{W: 64, H: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := ToSequence(r, 16, curve.HilbertOrder)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Add(seq); err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, seq)
+	}
+	// Query: a run of 40 consecutive Hilbert regions of image 7.
+	q := &core.Sequence{Points: seqs[7].Points[100:140]}
+	matches, _, err := db.Search(q, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range matches {
+		if m.SeqID == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("image not retrieved from its own patch")
+	}
+}

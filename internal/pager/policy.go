@@ -1,0 +1,145 @@
+package pager
+
+// Eviction selects the buffer-pool replacement policy.
+type Eviction int
+
+const (
+	// LRU evicts the least recently unpinned page (default).
+	LRU Eviction = iota
+	// Clock approximates LRU with a reference-bit sweep — O(1) state per
+	// access, the policy most real database buffer pools use.
+	Clock
+)
+
+func (e Eviction) String() string {
+	switch e {
+	case LRU:
+		return "lru"
+	case Clock:
+		return "clock"
+	default:
+		return "unknown"
+	}
+}
+
+// policy tracks evictable (unpinned) frames and picks victims. All calls
+// happen under the pager mutex.
+type policy interface {
+	// unpinned adds a frame to the evictable set (pin count hit zero).
+	unpinned(fr *frame)
+	// pinned removes a frame from the evictable set (pin count left zero).
+	pinned(fr *frame)
+	// remove drops a frame that is being discarded entirely.
+	remove(fr *frame)
+	// victim returns an evictable frame for which skip is false, or nil.
+	victim(skip func(*frame) bool) *frame
+}
+
+// lruPolicy is a doubly-linked list ordered by recency of unpinning.
+type lruPolicy struct {
+	head, tail *frame
+}
+
+func (l *lruPolicy) unpinned(fr *frame) {
+	fr.prev = nil
+	fr.next = l.head
+	if l.head != nil {
+		l.head.prev = fr
+	}
+	l.head = fr
+	if l.tail == nil {
+		l.tail = fr
+	}
+}
+
+func (l *lruPolicy) pinned(fr *frame) { l.unlink(fr) }
+func (l *lruPolicy) remove(fr *frame) { l.unlink(fr) }
+
+func (l *lruPolicy) unlink(fr *frame) {
+	if fr.prev != nil {
+		fr.prev.next = fr.next
+	} else if l.head == fr {
+		l.head = fr.next
+	}
+	if fr.next != nil {
+		fr.next.prev = fr.prev
+	} else if l.tail == fr {
+		l.tail = fr.prev
+	}
+	fr.prev, fr.next = nil, nil
+}
+
+func (l *lruPolicy) victim(skip func(*frame) bool) *frame {
+	for fr := l.tail; fr != nil; fr = fr.prev {
+		if !skip(fr) {
+			return fr
+		}
+	}
+	return nil
+}
+
+// clockPolicy keeps evictable frames on a circular list with a sweep hand.
+// A frame re-entering the pool gets its reference bit set; the hand clears
+// bits as it sweeps and evicts the first unreferenced, unskipped frame.
+type clockPolicy struct {
+	hand *frame
+	n    int
+}
+
+func (c *clockPolicy) unpinned(fr *frame) {
+	fr.ref = true
+	if c.hand == nil {
+		fr.next, fr.prev = fr, fr
+		c.hand = fr
+	} else {
+		// Insert just behind the hand (the position the sweep reaches
+		// last).
+		tailf := c.hand.prev
+		tailf.next = fr
+		fr.prev = tailf
+		fr.next = c.hand
+		c.hand.prev = fr
+	}
+	c.n++
+}
+
+func (c *clockPolicy) pinned(fr *frame) { c.unlink(fr) }
+func (c *clockPolicy) remove(fr *frame) { c.unlink(fr) }
+
+func (c *clockPolicy) unlink(fr *frame) {
+	if fr.next == nil && fr.prev == nil && c.hand != fr {
+		return // not in the ring
+	}
+	if c.n == 1 {
+		c.hand = nil
+	} else {
+		fr.prev.next = fr.next
+		fr.next.prev = fr.prev
+		if c.hand == fr {
+			c.hand = fr.next
+		}
+	}
+	fr.next, fr.prev = nil, nil
+	c.n--
+}
+
+func (c *clockPolicy) victim(skip func(*frame) bool) *frame {
+	if c.hand == nil {
+		return nil
+	}
+	// Two full sweeps clear every reference bit; a third pass can only be
+	// defeated by skip, so stop there.
+	for i := 0; i < 3*c.n; i++ {
+		fr := c.hand
+		c.hand = c.hand.next
+		if skip(fr) {
+			continue
+		}
+		if fr.ref {
+			fr.ref = false
+			continue
+		}
+		return fr
+	}
+	return nil
+}

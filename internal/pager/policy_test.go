@@ -1,0 +1,161 @@
+package pager
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestEvictionString(t *testing.T) {
+	if LRU.String() != "lru" || Clock.String() != "clock" || Eviction(9).String() != "unknown" {
+		t.Error("Eviction names wrong")
+	}
+}
+
+func TestOpenRejectsUnknownPolicy(t *testing.T) {
+	if _, err := Open(Options{Eviction: Eviction(42)}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// TestPoliciesCorrectUnderPressure runs the same randomized read/write
+// workload under both policies with a tiny pool; contents must always
+// read back correctly regardless of eviction order.
+func TestPoliciesCorrectUnderPressure(t *testing.T) {
+	for _, ev := range []Eviction{LRU, Clock} {
+		t.Run(ev.String(), func(t *testing.T) {
+			p, err := Open(Options{PageSize: 128, PoolPages: 4, Eviction: ev})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			const pages = 32
+			want := make([]byte, pages)
+			for i := 0; i < pages; i++ {
+				id, err := p.Alloc()
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[id] = byte(i + 1)
+				if err := fill(p, id, want[id]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rng := rand.New(rand.NewSource(int64(ev)))
+			buf := make([]byte, 128)
+			for step := 0; step < 2000; step++ {
+				id := PageID(rng.Intn(pages))
+				if rng.Intn(4) == 0 {
+					want[id] = byte(rng.Intn(255) + 1)
+					if err := fill(p, id, want[id]); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					if err := p.Read(id, buf); err != nil {
+						t.Fatal(err)
+					}
+					if buf[0] != want[id] {
+						t.Fatalf("step %d: page %d = %#x, want %#x", step, id, buf[0], want[id])
+					}
+				}
+			}
+			if st := p.Stats(); st.Evictions == 0 {
+				t.Error("no evictions under a 4-page pool?")
+			}
+		})
+	}
+}
+
+// TestClockSurvivesHotLoop: a pool-sized hot set accessed in a loop should
+// stay resident under Clock (reference bits protect it) once warmed.
+func TestClockSurvivesHotLoop(t *testing.T) {
+	p, err := Open(Options{PageSize: 128, PoolPages: 8, Eviction: Clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 8; i++ {
+		if _, err := p.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 128)
+	for round := 0; round < 50; round++ {
+		for id := PageID(0); id < 8; id++ {
+			if err := p.Read(id, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := p.Stats()
+	if st.Reads != 0 {
+		t.Errorf("hot loop caused %d physical reads", st.Reads)
+	}
+}
+
+// TestWALNoStealUnderClock repeats the no-steal eviction test with Clock.
+func TestWALNoStealUnderClock(t *testing.T) {
+	dir := t.TempDir()
+	p, err := Open(Options{PageSize: 128, PoolPages: 3, Path: filepath.Join(dir, "db"), WAL: true, Eviction: Clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ids := make([]PageID, 10)
+	for i := range ids {
+		ids[i], _ = p.Alloc()
+	}
+	p.Begin()
+	fill(p, ids[0], 0x91)
+	fill(p, ids[1], 0x92)
+	buf := make([]byte, 128)
+	for i := 2; i < 10; i++ {
+		if err := p.Read(ids[i], buf); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := p.Read(ids[0], buf); err != nil || buf[0] != 0x91 {
+		t.Errorf("txn page lost under clock: %v %#x", err, buf[0])
+	}
+}
+
+// TestPolicyHitRatiosComparable: on a zipf-ish skewed workload both
+// policies should achieve a substantial hit ratio; Clock should be within
+// a reasonable band of LRU (it approximates it).
+func TestPolicyHitRatiosComparable(t *testing.T) {
+	ratios := map[Eviction]float64{}
+	for _, ev := range []Eviction{LRU, Clock} {
+		p, err := Open(Options{PageSize: 128, PoolPages: 16, Eviction: ev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const pages = 128
+		for i := 0; i < pages; i++ {
+			p.Alloc()
+		}
+		rng := rand.New(rand.NewSource(7))
+		z := rand.NewZipf(rng, 1.2, 1, pages-1)
+		buf := make([]byte, 128)
+		p.ResetStats()
+		for step := 0; step < 20000; step++ {
+			if err := p.Read(PageID(z.Uint64()), buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ratios[ev] = p.Stats().HitRatio()
+		p.Close()
+	}
+	for ev, r := range ratios {
+		if r < 0.5 {
+			t.Errorf("%v hit ratio %.3f too low for a zipf workload", ev, r)
+		}
+	}
+	if diff := ratios[LRU] - ratios[Clock]; diff > 0.15 || diff < -0.15 {
+		t.Errorf("policies diverge too much: lru %.3f vs clock %.3f", ratios[LRU], ratios[Clock])
+	}
+	t.Log(fmt.Sprintf("hit ratios: lru=%.3f clock=%.3f", ratios[LRU], ratios[Clock]))
+}

@@ -1,0 +1,302 @@
+package pager
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func newWALPager(t *testing.T, dir string) *Pager {
+	t.Helper()
+	p, err := Open(Options{PageSize: 128, PoolPages: 8, Path: filepath.Join(dir, "db"), WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestWALRequiresPath(t *testing.T) {
+	if _, err := Open(Options{WAL: true}); err == nil {
+		t.Fatal("WAL without path accepted")
+	}
+}
+
+func TestTxnCommitPersists(t *testing.T) {
+	dir := t.TempDir()
+	p := newWALPager(t, dir)
+	if err := p.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := p.Alloc()
+	b, _ := p.Alloc()
+	fill(p, a, 0x11)
+	fill(p, b, 0x22)
+	if !p.InTxn() {
+		t.Error("InTxn = false during transaction")
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if p.InTxn() {
+		t.Error("InTxn = true after commit")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := newWALPager(t, dir)
+	defer p2.Close()
+	buf := make([]byte, 128)
+	if err := p2.Read(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x11 {
+		t.Errorf("page a byte = %#x", buf[0])
+	}
+	if err := p2.Read(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x22 {
+		t.Errorf("page b byte = %#x", buf[0])
+	}
+}
+
+func TestTxnRollbackDiscards(t *testing.T) {
+	dir := t.TempDir()
+	p := newWALPager(t, dir)
+	defer p.Close()
+	// Commit an initial value.
+	p.Begin()
+	id, _ := p.Alloc()
+	fill(p, id, 0xAA)
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Modify and roll back.
+	p.Begin()
+	fill(p, id, 0xBB)
+	if err := p.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	if err := p.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xAA {
+		t.Errorf("byte after rollback = %#x, want 0xAA", buf[0])
+	}
+}
+
+func TestTxnStateErrors(t *testing.T) {
+	dir := t.TempDir()
+	p := newWALPager(t, dir)
+	defer p.Close()
+	if err := p.Commit(); !errors.Is(err, ErrNoTxn) {
+		t.Errorf("Commit without Begin = %v", err)
+	}
+	if err := p.Rollback(); !errors.Is(err, ErrNoTxn) {
+		t.Errorf("Rollback without Begin = %v", err)
+	}
+	p.Begin()
+	if err := p.Begin(); !errors.Is(err, ErrTxnActive) {
+		t.Errorf("nested Begin = %v", err)
+	}
+	if err := p.Flush(); !errors.Is(err, ErrTxnActive) {
+		t.Errorf("Flush during txn = %v", err)
+	}
+	if err := p.Close(); !errors.Is(err, ErrTxnActive) {
+		t.Errorf("Close during txn = %v", err)
+	}
+	if err := p.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoWALTxnIsNoop(t *testing.T) {
+	p := newMemPager(t, 128, 8)
+	if err := p.Begin(); err != nil {
+		t.Errorf("Begin without WAL = %v", err)
+	}
+	if err := p.Commit(); err != nil {
+		t.Errorf("Commit without WAL = %v", err)
+	}
+	if err := p.Rollback(); err != nil {
+		t.Errorf("Rollback without WAL = %v", err)
+	}
+}
+
+// TestCrashBeforeWALSyncLosesTxn: a crash before the log record completes
+// means the transaction never happened.
+func TestCrashBeforeWALSyncLosesTxn(t *testing.T) {
+	dir := t.TempDir()
+	p := newWALPager(t, dir)
+	p.Begin()
+	id, _ := p.Alloc()
+	fill(p, id, 0x77)
+	// Simulate a crash by just abandoning the pager (no Commit, no Close).
+	// The OS file state: db file may have grown (Alloc truncates) but the
+	// page image was never written; the WAL holds no record.
+	p2 := newWALPager(t, dir)
+	defer p2.Close()
+	if n := p2.NumPages(); n > 0 {
+		buf := make([]byte, 128)
+		if err := p2.Read(0, buf); err == nil && buf[0] == 0x77 {
+			t.Error("uncommitted write visible after crash")
+		}
+	}
+}
+
+// TestCrashAfterWALSyncRedoesTxn: once the log record is durable, the
+// transaction must survive even if the main file was never touched.
+func TestCrashAfterWALSyncRedoesTxn(t *testing.T) {
+	dir := t.TempDir()
+	p := newWALPager(t, dir)
+	p.Begin()
+	a, _ := p.Alloc()
+	b, _ := p.Alloc()
+	fill(p, a, 0x31)
+	fill(p, b, 0x32)
+	p.crashAfterWALSync = true
+	if err := p.Commit(); !errors.Is(err, errSimulatedCrash) {
+		t.Fatalf("Commit = %v, want simulated crash", err)
+	}
+	// Abandon p (crashed). Reopen: recovery must replay the record.
+	p2 := newWALPager(t, dir)
+	defer p2.Close()
+	buf := make([]byte, 128)
+	if err := p2.Read(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x31 {
+		t.Errorf("page a = %#x after recovery, want 0x31", buf[0])
+	}
+	if err := p2.Read(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x32 {
+		t.Errorf("page b = %#x after recovery, want 0x32", buf[0])
+	}
+}
+
+// TestRecoveryDiscardsTornRecord: a truncated trailing record (torn write)
+// must be ignored while earlier committed records replay.
+func TestRecoveryDiscardsTornRecord(t *testing.T) {
+	dir := t.TempDir()
+	p := newWALPager(t, dir)
+	p.Begin()
+	a, _ := p.Alloc()
+	fill(p, a, 0x41)
+	p.crashAfterWALSync = true
+	if err := p.Commit(); !errors.Is(err, errSimulatedCrash) {
+		t.Fatal(err)
+	}
+	// Corrupt the log: truncate the final crc byte.
+	walPath := filepath.Join(dir, "db.wal")
+	st, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, st.Size()-1); err != nil {
+		t.Fatal(err)
+	}
+	p2 := newWALPager(t, dir)
+	defer p2.Close()
+	buf := make([]byte, 128)
+	if p2.NumPages() > 0 {
+		if err := p2.Read(a, buf); err == nil && buf[0] == 0x41 {
+			t.Error("torn record replayed")
+		}
+	}
+}
+
+// TestRecoveryRejectsCorruptChecksum flips a byte inside the record body.
+func TestRecoveryRejectsCorruptChecksum(t *testing.T) {
+	dir := t.TempDir()
+	p := newWALPager(t, dir)
+	p.Begin()
+	a, _ := p.Alloc()
+	fill(p, a, 0x51)
+	p.crashAfterWALSync = true
+	p.Commit()
+	walPath := filepath.Join(dir, "db.wal")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0xFF
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p2 := newWALPager(t, dir)
+	defer p2.Close()
+	if p2.NumPages() > 0 {
+		buf := make([]byte, 128)
+		if err := p2.Read(a, buf); err == nil && buf[0] == 0x51 {
+			t.Error("checksum-corrupt record replayed")
+		}
+	}
+}
+
+func TestNoStealEviction(t *testing.T) {
+	// Pool of 3; dirty 2 pages in a txn, then touch many others: the txn
+	// pages must stay resident and the commit must still see them.
+	dir := t.TempDir()
+	p, err := Open(Options{PageSize: 128, PoolPages: 3, Path: filepath.Join(dir, "db"), WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Pre-allocate pages outside the txn.
+	ids := make([]PageID, 10)
+	for i := range ids {
+		ids[i], _ = p.Alloc()
+	}
+	p.Begin()
+	fill(p, ids[0], 0x61)
+	fill(p, ids[1], 0x62)
+	buf := make([]byte, 128)
+	for i := 2; i < 10; i++ {
+		if err := p.Read(ids[i], buf); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatalf("Commit after eviction pressure: %v", err)
+	}
+	if err := p.Read(ids[0], buf); err != nil || buf[0] != 0x61 {
+		t.Errorf("txn page lost: %v %#x", err, buf[0])
+	}
+}
+
+func TestWALFileResetAfterCommit(t *testing.T) {
+	dir := t.TempDir()
+	p := newWALPager(t, dir)
+	p.Begin()
+	id, _ := p.Alloc()
+	fill(p, id, 0x71)
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	data, err := os.ReadFile(filepath.Join(dir, "db.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte(walMagic)) {
+		t.Errorf("wal not reset after commit: %d bytes", len(data))
+	}
+}
+
+func TestEmptyTxnCommit(t *testing.T) {
+	dir := t.TempDir()
+	p := newWALPager(t, dir)
+	defer p.Close()
+	if err := p.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatalf("empty commit: %v", err)
+	}
+}

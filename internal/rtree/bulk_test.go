@@ -1,0 +1,199 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pager"
+)
+
+func bulkItems(rng *rand.Rand, n, dim int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Rect: randRect(rng, dim, 0.05), Ref: Ref(i)}
+	}
+	return items
+}
+
+func TestBulkLoadBasic(t *testing.T) {
+	tr := newMemTree(t, 3, 8)
+	rng := rand.New(rand.NewSource(100))
+	items := bulkItems(rng, 1000, 3)
+	if err := tr.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if tr.Height() < 3 {
+		t.Errorf("height = %d; expected a deep tree with fanout 8", tr.Height())
+	}
+}
+
+func TestBulkLoadSearchMatchesBruteForce(t *testing.T) {
+	tr := newMemTree(t, 3, 8)
+	rng := rand.New(rand.NewSource(101))
+	items := bulkItems(rng, 800, 3)
+	if err := tr.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	byRef := make(map[Ref]geom.Rect, len(items))
+	for _, it := range items {
+		byRef[it.Ref] = it.Rect
+	}
+	for trial := 0; trial < 40; trial++ {
+		q := randRect(rng, 3, 0.3)
+		want := bruteIntersect(byRef, q)
+		got := collectIntersect(t, tr, q)
+		if !refSlicesEqual(got, want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestBulkLoadEdgeSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	// Sizes around node-capacity boundaries, including tiny ones.
+	for _, n := range []int{0, 1, 2, 7, 8, 9, 63, 64, 65, 100, 511} {
+		tr := newMemTree(t, 2, 8)
+		items := bulkItems(rng, n, 2)
+		if err := tr.BulkLoad(items); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+		if n > 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+		}
+	}
+}
+
+func TestBulkLoadRejectsNonEmptyTree(t *testing.T) {
+	tr := newMemTree(t, 2, 8)
+	tr.Insert(geom.MustRect(geom.Point{0, 0}, geom.Point{0.1, 0.1}), 1)
+	if err := tr.BulkLoad(bulkItems(rand.New(rand.NewSource(1)), 5, 2)); err == nil {
+		t.Error("BulkLoad on non-empty tree accepted")
+	}
+}
+
+func TestBulkLoadRejectsBadItems(t *testing.T) {
+	tr := newMemTree(t, 3, 8)
+	bad := []Item{{Rect: geom.MustRect(geom.Point{0}, geom.Point{1}), Ref: 1}}
+	if err := tr.BulkLoad(bad); err == nil {
+		t.Error("wrong-dim item accepted")
+	}
+	if err := tr.BulkLoad([]Item{{}}); err == nil {
+		t.Error("empty rect accepted")
+	}
+}
+
+func TestBulkLoadThenMutate(t *testing.T) {
+	tr := newMemTree(t, 2, 8)
+	rng := rand.New(rand.NewSource(103))
+	items := bulkItems(rng, 300, 2)
+	if err := tr.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	// Inserts and deletes after a bulk load must keep the tree sound.
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(randRect(rng, 2, 0.05), Ref(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if err := tr.Delete(items[i].Rect, items[i].Ref); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	if tr.Len() != 300 {
+		t.Errorf("Len = %d, want 300", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadPersistence(t *testing.T) {
+	pg, err := pager.Open(pager.Options{PageSize: 4096, PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg.Close()
+	tr, err := New(Options{Dim: 3, Pager: pg, MaxEntries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(104))
+	items := bulkItems(rng, 500, 3)
+	if err := tr.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Open(Options{Pager: pg, MaxEntries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != 500 {
+		t.Errorf("reopened Len = %d", tr2.Len())
+	}
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadPacksTighterThanIncremental(t *testing.T) {
+	// STR should need no more pages than incremental insertion for the
+	// same items (it packs nodes full).
+	rng := rand.New(rand.NewSource(105))
+	items := bulkItems(rng, 600, 3)
+
+	pgBulk, _ := pager.Open(pager.Options{PageSize: 4096})
+	defer pgBulk.Close()
+	bulk, _ := New(Options{Dim: 3, Pager: pgBulk, MaxEntries: 16})
+	if err := bulk.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+
+	pgInc, _ := pager.Open(pager.Options{PageSize: 4096})
+	defer pgInc.Close()
+	inc, _ := New(Options{Dim: 3, Pager: pgInc, MaxEntries: 16})
+	for _, it := range items {
+		if err := inc.Insert(it.Rect, it.Ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pgBulk.NumPages() > pgInc.NumPages() {
+		t.Errorf("bulk used %d pages, incremental %d", pgBulk.NumPages(), pgInc.NumPages())
+	}
+}
+
+func TestChunkBalanced(t *testing.T) {
+	es := make([]entry, 17)
+	out := chunkBalanced(es, 8, 3)
+	var sizes []int
+	total := 0
+	for _, g := range out {
+		sizes = append(sizes, len(g))
+		total += len(g)
+		if len(g) < 3 {
+			t.Errorf("chunk of %d below minimum 3 (sizes %v)", len(g), sizes)
+		}
+	}
+	if total != 17 {
+		t.Errorf("chunks cover %d entries, want 17", total)
+	}
+	sort.Ints(sizes)
+	if sizes[len(sizes)-1] > 8 {
+		t.Errorf("chunk exceeds max: %v", sizes)
+	}
+}

@@ -1,0 +1,146 @@
+package rtree
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pager"
+)
+
+// TestTreeSurvivesCrashMidMutation exercises end-to-end crash consistency:
+// mutations on a WAL-enabled tree either apply fully or not at all, and
+// the reopened tree always passes its structural invariants.
+func TestTreeSurvivesCrashMidMutation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tree.db")
+	open := func() (*pager.Pager, *Tree) {
+		pg, err := pager.Open(pager.Options{PageSize: 4096, PoolPages: 64, Path: path, WAL: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tr *Tree
+		if pg.NumPages() == 0 {
+			tr, err = New(Options{Dim: 3, Pager: pg, MaxEntries: 8})
+		} else {
+			tr, err = Open(Options{Pager: pg, MaxEntries: 8})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pg, tr
+	}
+
+	rng := rand.New(rand.NewSource(200))
+	pg, tr := open()
+	items := make(map[Ref]geom.Rect)
+	for i := 0; i < 120; i++ {
+		r := randRect(rng, 3, 0.05)
+		if err := tr.Insert(r, Ref(i)); err != nil {
+			t.Fatal(err)
+		}
+		items[Ref(i)] = r
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash during the next insert's commit: the WAL record is durable, so
+	// after reopen the insert must be present.
+	pg.FailCommitAfterWALSync(true)
+	extra := randRect(rng, 3, 0.05)
+	err := tr.Insert(extra, Ref(999))
+	if !pager.IsSimulatedCrash(err) {
+		t.Fatalf("Insert = %v, want simulated crash", err)
+	}
+	// Abandon the crashed handle (do not Close); reopen from disk.
+	pg2, tr2 := open()
+	defer pg2.Close()
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after crash recovery: %v", err)
+	}
+	if tr2.Len() != 121 {
+		t.Fatalf("Len after recovery = %d, want 121 (the WAL-synced insert replays)", tr2.Len())
+	}
+	found := false
+	tr2.Intersect(extra, func(it Item) bool {
+		if it.Ref == 999 {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Error("recovered insert not searchable")
+	}
+
+	// All original items still intact.
+	for ref, r := range items {
+		ok := false
+		tr2.Intersect(r, func(it Item) bool {
+			if it.Ref == ref {
+				ok = true
+				return false
+			}
+			return true
+		})
+		if !ok {
+			t.Fatalf("item %d lost after recovery", ref)
+		}
+	}
+
+	// Deletes are crash-safe too.
+	pg2.FailCommitAfterWALSync(true)
+	victimRef := Ref(7)
+	err = tr2.Delete(items[victimRef], victimRef)
+	if !pager.IsSimulatedCrash(err) {
+		t.Fatalf("Delete = %v, want simulated crash", err)
+	}
+	pg3, tr3 := open()
+	defer pg3.Close()
+	if err := tr3.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after delete crash: %v", err)
+	}
+	if tr3.Len() != 120 {
+		t.Errorf("Len = %d after recovered delete, want 120", tr3.Len())
+	}
+}
+
+// TestTreeRollbackOnNotFoundDelete verifies that a failed mutation leaves
+// no trace on a WAL tree (the transaction rolls back cleanly).
+func TestTreeRollbackOnNotFoundDelete(t *testing.T) {
+	dir := t.TempDir()
+	pg, err := pager.Open(pager.Options{PageSize: 4096, Path: filepath.Join(dir, "t.db"), WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg.Close()
+	tr, err := New(Options{Dim: 2, Pager: pg, MaxEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(201))
+	for i := 0; i < 50; i++ {
+		if err := tr.Insert(randRect(rng, 2, 0.05), Ref(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	missing := randRect(rng, 2, 0.05)
+	if err := tr.Delete(missing, 12345); err != ErrNotFound {
+		t.Fatalf("Delete missing = %v", err)
+	}
+	if pg.InTxn() {
+		t.Error("transaction left open after failed delete")
+	}
+	if tr.Len() != 50 {
+		t.Errorf("Len = %d after failed delete", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The tree remains fully usable.
+	if err := tr.Insert(randRect(rng, 2, 0.05), 50); err != nil {
+		t.Fatalf("insert after rollback: %v", err)
+	}
+}

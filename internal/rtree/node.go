@@ -1,0 +1,113 @@
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/pager"
+)
+
+// entry is one slot in a node: a rectangle plus either a child page
+// (internal nodes) or a caller reference (leaves).
+type entry struct {
+	rect  geom.Rect
+	child pager.PageID // internal nodes
+	ref   Ref          // leaves
+}
+
+// node is the in-memory form of one tree page.
+type node struct {
+	page    pager.PageID
+	leaf    bool
+	entries []entry
+}
+
+// mbr returns the minimum bounding rectangle of all entries in n.
+func (n *node) mbr() geom.Rect {
+	var r geom.Rect
+	for i := range n.entries {
+		r.ExtendRect(n.entries[i].rect)
+	}
+	return r
+}
+
+// Node page layout:
+//
+//	flags  u8   (bit 0: leaf)
+//	count  u16
+//	entries: count × (dim×8 bytes L | dim×8 bytes H | 8 bytes ref-or-child)
+//
+// Freed pages reuse bytes 0:4 for the free-list next pointer, which is fine
+// because a freed page is never interpreted as a node.
+func (t *Tree) writeNode(n *node) error {
+	if len(n.entries) > t.maxEntries {
+		return fmt.Errorf("rtree: node %d has %d entries, max %d", n.page, len(n.entries), t.maxEntries)
+	}
+	return t.pg.Update(n.page, func(b []byte) error {
+		var flags byte
+		if n.leaf {
+			flags |= 1
+		}
+		b[0] = flags
+		binary.LittleEndian.PutUint16(b[1:3], uint16(len(n.entries)))
+		off := nodeHeaderSize
+		for i := range n.entries {
+			e := &n.entries[i]
+			for k := 0; k < t.dim; k++ {
+				binary.LittleEndian.PutUint64(b[off:], math.Float64bits(e.rect.L[k]))
+				off += 8
+			}
+			for k := 0; k < t.dim; k++ {
+				binary.LittleEndian.PutUint64(b[off:], math.Float64bits(e.rect.H[k]))
+				off += 8
+			}
+			if n.leaf {
+				binary.LittleEndian.PutUint64(b[off:], uint64(e.ref))
+			} else {
+				binary.LittleEndian.PutUint64(b[off:], uint64(e.child))
+			}
+			off += 8
+		}
+		return nil
+	})
+}
+
+func (t *Tree) readNode(id pager.PageID) (*node, error) {
+	n := &node{page: id}
+	err := t.pg.View(id, func(b []byte) error {
+		n.leaf = b[0]&1 != 0
+		count := int(binary.LittleEndian.Uint16(b[1:3]))
+		if count > t.maxEntries {
+			return fmt.Errorf("rtree: node %d count %d exceeds max %d (corrupt page?)", id, count, t.maxEntries)
+		}
+		n.entries = make([]entry, count)
+		off := nodeHeaderSize
+		for i := 0; i < count; i++ {
+			lo := make(geom.Point, t.dim)
+			hi := make(geom.Point, t.dim)
+			for k := 0; k < t.dim; k++ {
+				lo[k] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+				off += 8
+			}
+			for k := 0; k < t.dim; k++ {
+				hi[k] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+				off += 8
+			}
+			payload := binary.LittleEndian.Uint64(b[off:])
+			off += 8
+			n.entries[i] = entry{rect: geom.Rect{L: lo, H: hi}}
+			if n.leaf {
+				n.entries[i].ref = Ref(payload)
+			} else {
+				n.entries[i].child = pager.PageID(payload)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,76 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStatsShape(t *testing.T) {
+	tr := newMemTree(t, 3, 8)
+	rng := rand.New(rand.NewSource(130))
+	items := bulkItems(rng, 640, 3)
+	if err := tr.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	st, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 640 {
+		t.Errorf("Entries = %d", st.Entries)
+	}
+	if st.Height != tr.Height() {
+		t.Errorf("Height = %d, want %d", st.Height, tr.Height())
+	}
+	if st.LeafNodes < 640/8 {
+		t.Errorf("LeafNodes = %d", st.LeafNodes)
+	}
+	if st.LeafFill <= 0 || st.LeafFill > 1 {
+		t.Errorf("LeafFill = %g", st.LeafFill)
+	}
+	// STR packs essentially full leaves.
+	if st.LeafFill < 0.9 {
+		t.Errorf("bulk-loaded LeafFill = %g, want >= 0.9", st.LeafFill)
+	}
+}
+
+func TestStatsBulkPacksTighterThanIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	items := bulkItems(rng, 500, 3)
+
+	bulk := newMemTree(t, 3, 16)
+	if err := bulk.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	inc := newMemTree(t, 3, 16)
+	for _, it := range items {
+		if err := inc.Insert(it.Rect, it.Ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bst, err := bulk.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ist, err := inc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bst.LeafFill < ist.LeafFill {
+		t.Errorf("bulk LeafFill %g < incremental %g", bst.LeafFill, ist.LeafFill)
+	}
+}
+
+func TestStatsEmptyTree(t *testing.T) {
+	tr := newMemTree(t, 2, 0)
+	st, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 0 || st.LeafNodes != 1 || st.InternalNodes != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+	if st.InternalFill != 0 {
+		t.Errorf("InternalFill = %g on leaf-only tree", st.InternalFill)
+	}
+}

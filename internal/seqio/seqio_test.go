@@ -1,0 +1,135 @@
+package seqio
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+func randomDataset(rng *rand.Rand, count, dim int) []*core.Sequence {
+	out := make([]*core.Sequence, count)
+	for i := range out {
+		n := 1 + rng.Intn(50)
+		pts := make([]geom.Point, n)
+		for j := range pts {
+			p := make(geom.Point, dim)
+			for k := range p {
+				p[k] = rng.Float64()
+			}
+			pts[j] = p
+		}
+		out[i] = &core.Sequence{Label: "seq", Points: pts}
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := randomDataset(rng, 20, 3)
+	in[5].Label = "with a longer label / punctuation 🎬"
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("count = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Label != in[i].Label {
+			t.Errorf("sequence %d label %q, want %q", i, out[i].Label, in[i].Label)
+		}
+		if out[i].Len() != in[i].Len() {
+			t.Fatalf("sequence %d length %d, want %d", i, out[i].Len(), in[i].Len())
+		}
+		for j := range in[i].Points {
+			if !out[i].Points[j].Equal(in[i].Points[j]) {
+				t.Fatalf("sequence %d point %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := randomDataset(rng, 5, 2)
+	path := filepath.Join(t.TempDir(), "data.mds")
+	if err := WriteFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 || out[0].Dim() != 2 {
+		t.Errorf("read %d sequences dim %d", len(out), out[0].Dim())
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	mixed := []*core.Sequence{
+		{Points: []geom.Point{{1, 2}}},
+		{Points: []geom.Point{{1}}},
+	}
+	if err := Write(&buf, mixed); err == nil {
+		t.Error("mixed-dim dataset accepted")
+	}
+	invalid := []*core.Sequence{{}}
+	if err := Write(&buf, invalid); err == nil {
+		t.Error("empty sequence accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a dataset"))); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("garbage read = %v", err)
+	}
+	if _, err := Read(bytes.NewReader(nil)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("empty read = %v", err)
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := randomDataset(rng, 3, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) - 1, len(full) / 2, 12, 9} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadAssignsSequentialIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := randomDataset(rng, 4, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range out {
+		if s.ID != uint32(i) {
+			t.Errorf("sequence %d has ID %d", i, s.ID)
+		}
+	}
+}

@@ -1,0 +1,358 @@
+// Package server exposes a sequence database over HTTP/JSON: ingest,
+// search (range, k-NN), streaming append, explain, and stats. It is the
+// serving layer for mdseq (cmd/mdsserve), stdlib net/http only.
+//
+// Endpoints:
+//
+//	GET    /stats                     database shape
+//	POST   /sequences                 {label, points} -> {id}
+//	POST   /sequences/batch           {sequences:[...]} -> {ids}
+//	GET    /sequences/{id}            stored sequence
+//	DELETE /sequences/{id}            remove
+//	POST   /sequences/{id}/append     {points}
+//	POST   /search                    {points, eps, parallel} -> matches
+//	POST   /knn                       {points, k} -> neighbors
+//	POST   /explain                   {points, eps} -> per-sequence decisions
+//
+// Points are JSON arrays of coordinate arrays: [[x1,x2,x3], ...].
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// maxBodyBytes bounds request bodies (64 MiB covers any realistic batch).
+const maxBodyBytes = 64 << 20
+
+// Server handles HTTP requests against one database.
+type Server struct {
+	db  *core.Database
+	mux *http.ServeMux
+}
+
+// New builds a Server around db.
+func New(db *core.Database) *Server {
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /sequences", s.handleAdd)
+	s.mux.HandleFunc("POST /sequences/batch", s.handleAddBatch)
+	s.mux.HandleFunc("GET /sequences/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /sequences/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /sequences/{id}/append", s.handleAppend)
+	s.mux.HandleFunc("POST /search", s.handleSearch)
+	s.mux.HandleFunc("POST /knn", s.handleKNN)
+	s.mux.HandleFunc("POST /explain", s.handleExplain)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- wire types ---------------------------------------------------------
+
+// SequenceJSON is the wire form of a sequence.
+type SequenceJSON struct {
+	ID     uint32      `json:"id,omitempty"`
+	Label  string      `json:"label"`
+	Points [][]float64 `json:"points"`
+}
+
+// SearchRequest is the body of POST /search and /explain.
+type SearchRequest struct {
+	Points   [][]float64 `json:"points"`
+	Eps      float64     `json:"eps"`
+	Parallel bool        `json:"parallel,omitempty"`
+}
+
+// KNNRequest is the body of POST /knn.
+type KNNRequest struct {
+	Points [][]float64 `json:"points"`
+	K      int         `json:"k"`
+}
+
+// MatchJSON is one range-search result.
+type MatchJSON struct {
+	ID        uint32   `json:"id"`
+	Label     string   `json:"label"`
+	MinDnorm  float64  `json:"minDnorm"`
+	Intervals [][2]int `json:"intervals"`
+}
+
+// SearchResponse is the body returned by POST /search.
+type SearchResponse struct {
+	Matches []MatchJSON `json:"matches"`
+	Stats   struct {
+		QueryMBRs      int `json:"queryMBRs"`
+		Candidates     int `json:"candidates"`
+		TotalSequences int `json:"totalSequences"`
+	} `json:"stats"`
+}
+
+// NeighborJSON is one k-NN result.
+type NeighborJSON struct {
+	ID     uint32  `json:"id"`
+	Label  string  `json:"label"`
+	Dist   float64 `json:"dist"`
+	Offset int     `json:"offset"`
+}
+
+// ExplainResponse summarizes POST /explain.
+type ExplainResponse struct {
+	PrunedDmbr  int                  `json:"prunedDmbr"`
+	PrunedDnorm int                  `json:"prunedDnorm"`
+	Matched     int                  `json:"matched"`
+	Sequences   []ExplainedCandidate `json:"sequences"`
+}
+
+// ExplainedCandidate is one sequence's pruning outcome.
+type ExplainedCandidate struct {
+	ID       uint32  `json:"id"`
+	Label    string  `json:"label"`
+	MinDmbr  float64 `json:"minDmbr"`
+	MinDnorm float64 `json:"minDnorm"`
+	Phase    string  `json:"phase"`
+}
+
+// --- handlers -----------------------------------------------------------
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"sequences":   s.db.Len(),
+		"mbrs":        s.db.NumMBRs(),
+		"indexHeight": s.db.IndexHeight(),
+		"indexFanout": s.db.IndexFanout(),
+	})
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req SequenceJSON
+	if !decode(w, r, &req) {
+		return
+	}
+	seq, err := toSequence(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.db.Add(seq)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]uint32{"id": id})
+}
+
+func (s *Server) handleAddBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Sequences []SequenceJSON `json:"sequences"`
+	}
+	if !decode(w, r, &req) {
+		return
+	}
+	seqs := make([]*core.Sequence, len(req.Sequences))
+	for i, sj := range req.Sequences {
+		seq, err := toSequence(sj)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("sequence %d: %w", i, err))
+			return
+		}
+		seqs[i] = seq
+	}
+	ids, err := s.db.AddAll(seqs)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string][]uint32{"ids": ids})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	g := s.db.Segmented(id)
+	if g == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("sequence %d not found", id))
+		return
+	}
+	out := SequenceJSON{ID: id, Label: g.Seq.Label, Points: make([][]float64, g.Seq.Len())}
+	for i, p := range g.Seq.Points {
+		out.Points[i] = append([]float64(nil), p...)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	if err := s.db.Remove(id); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, core.ErrUnknownSequence) {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Points [][]float64 `json:"points"`
+	}
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.db.AppendPoints(id, toPoints(req.Points)); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, core.ErrUnknownSequence) {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"length": s.db.Segmented(id).Seq.Len()})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	q, err := toSequence(SequenceJSON{Label: "query", Points: req.Points})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var matches []core.Match
+	var stats core.SearchStats
+	if req.Parallel {
+		matches, stats, err = s.db.SearchParallel(q, req.Eps, 0)
+	} else {
+		matches, stats, err = s.db.Search(q, req.Eps)
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := SearchResponse{Matches: make([]MatchJSON, len(matches))}
+	for i, m := range matches {
+		mj := MatchJSON{ID: m.SeqID, Label: m.Seq.Label, MinDnorm: m.MinDnorm}
+		for _, rg := range m.Interval.Ranges() {
+			mj.Intervals = append(mj.Intervals, [2]int{rg.Start, rg.End})
+		}
+		resp.Matches[i] = mj
+	}
+	resp.Stats.QueryMBRs = stats.QueryMBRs
+	resp.Stats.Candidates = stats.CandidatesDmbr
+	resp.Stats.TotalSequences = stats.TotalSequences
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req KNNRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	q, err := toSequence(SequenceJSON{Label: "query", Points: req.Points})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	results, err := s.db.SearchKNN(q, req.K)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]NeighborJSON, len(results))
+	for i, n := range results {
+		out[i] = NeighborJSON{ID: n.SeqID, Label: n.Seq.Label, Dist: n.Dist, Offset: n.Offset}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"neighbors": out})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	q, err := toSequence(SequenceJSON{Label: "query", Points: req.Points})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ex, err := s.db.Explain(q, req.Eps)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var resp ExplainResponse
+	resp.PrunedDmbr, resp.PrunedDnorm, resp.Matched = ex.Counts()
+	for _, c := range ex.Candidates {
+		resp.Sequences = append(resp.Sequences, ExplainedCandidate{
+			ID: c.SeqID, Label: c.Label, MinDmbr: c.MinDmbr, MinDnorm: c.MinDnorm, Phase: c.Phase,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- helpers ------------------------------------------------------------
+
+func toSequence(sj SequenceJSON) (*core.Sequence, error) {
+	return core.NewSequence(sj.Label, toPoints(sj.Points))
+}
+
+func toPoints(raw [][]float64) []geom.Point {
+	pts := make([]geom.Point, len(raw))
+	for i, c := range raw {
+		pts[i] = geom.Point(c)
+	}
+	return pts
+}
+
+func pathID(w http.ResponseWriter, r *http.Request) (uint32, bool) {
+	raw := r.PathValue("id")
+	id, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad sequence id %q", raw))
+		return 0, false
+	}
+	return uint32(id), true
+}
+
+func decode(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

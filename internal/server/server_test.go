@@ -1,0 +1,254 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func newTestServer(t *testing.T) (*Server, *core.Database) {
+	t.Helper()
+	db, err := core.NewDatabase(core.Options{Dim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return New(db), db
+}
+
+func doJSON(t *testing.T, s *Server, method, path string, body interface{}) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func walkPoints(rng *rand.Rand, n int) [][]float64 {
+	pts := make([][]float64, n)
+	cur := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	for i := range pts {
+		next := make([]float64, 3)
+		for k := range next {
+			v := cur[k] + (rng.Float64()-0.5)*0.06
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			next[k] = v
+		}
+		pts[i], cur = next, next
+	}
+	return pts
+}
+
+func TestAddGetDelete(t *testing.T) {
+	s, _ := newTestServer(t)
+	rng := rand.New(rand.NewSource(1))
+
+	rec := doJSON(t, s, "POST", "/sequences", SequenceJSON{Label: "a", Points: walkPoints(rng, 40)})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("add: %d %s", rec.Code, rec.Body)
+	}
+	var created struct {
+		ID uint32 `json:"id"`
+	}
+	json.Unmarshal(rec.Body.Bytes(), &created)
+
+	rec = doJSON(t, s, "GET", fmt.Sprintf("/sequences/%d", created.ID), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("get: %d", rec.Code)
+	}
+	var got SequenceJSON
+	json.Unmarshal(rec.Body.Bytes(), &got)
+	if got.Label != "a" || len(got.Points) != 40 {
+		t.Errorf("got %q with %d points", got.Label, len(got.Points))
+	}
+
+	rec = doJSON(t, s, "DELETE", fmt.Sprintf("/sequences/%d", created.ID), nil)
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("delete: %d", rec.Code)
+	}
+	rec = doJSON(t, s, "GET", fmt.Sprintf("/sequences/%d", created.ID), nil)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("get after delete: %d", rec.Code)
+	}
+	rec = doJSON(t, s, "DELETE", fmt.Sprintf("/sequences/%d", created.ID), nil)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("double delete: %d", rec.Code)
+	}
+}
+
+func TestBatchSearchAndKNN(t *testing.T) {
+	s, _ := newTestServer(t)
+	rng := rand.New(rand.NewSource(2))
+	batch := struct {
+		Sequences []SequenceJSON `json:"sequences"`
+	}{}
+	var stored [][][]float64
+	for i := 0; i < 15; i++ {
+		pts := walkPoints(rng, 60)
+		stored = append(stored, pts)
+		batch.Sequences = append(batch.Sequences, SequenceJSON{Label: fmt.Sprintf("s%d", i), Points: pts})
+	}
+	rec := doJSON(t, s, "POST", "/sequences/batch", batch)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("batch: %d %s", rec.Code, rec.Body)
+	}
+	var ids struct {
+		IDs []uint32 `json:"ids"`
+	}
+	json.Unmarshal(rec.Body.Bytes(), &ids)
+	if len(ids.IDs) != 15 {
+		t.Fatalf("ids = %v", ids.IDs)
+	}
+
+	// Search with a stored subsequence; source must match.
+	query := stored[4][10:40]
+	for _, parallel := range []bool{false, true} {
+		rec = doJSON(t, s, "POST", "/search", SearchRequest{Points: query, Eps: 0.05, Parallel: parallel})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("search: %d %s", rec.Code, rec.Body)
+		}
+		var resp SearchResponse
+		json.Unmarshal(rec.Body.Bytes(), &resp)
+		found := false
+		for _, m := range resp.Matches {
+			if m.ID == 4 {
+				found = true
+				if len(m.Intervals) == 0 {
+					t.Error("match without intervals")
+				}
+			}
+		}
+		if !found {
+			t.Errorf("parallel=%v: source not found in %+v", parallel, resp.Matches)
+		}
+		if resp.Stats.TotalSequences != 15 {
+			t.Errorf("stats: %+v", resp.Stats)
+		}
+	}
+
+	// k-NN.
+	rec = doJSON(t, s, "POST", "/knn", KNNRequest{Points: query, K: 3})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("knn: %d %s", rec.Code, rec.Body)
+	}
+	var knn struct {
+		Neighbors []NeighborJSON `json:"neighbors"`
+	}
+	json.Unmarshal(rec.Body.Bytes(), &knn)
+	if len(knn.Neighbors) != 3 || knn.Neighbors[0].ID != 4 || knn.Neighbors[0].Dist != 0 {
+		t.Errorf("knn = %+v", knn.Neighbors)
+	}
+}
+
+func TestAppendEndpoint(t *testing.T) {
+	s, db := newTestServer(t)
+	rng := rand.New(rand.NewSource(3))
+	rec := doJSON(t, s, "POST", "/sequences", SequenceJSON{Label: "grow", Points: walkPoints(rng, 30)})
+	if rec.Code != http.StatusCreated {
+		t.Fatal(rec.Code)
+	}
+	rec = doJSON(t, s, "POST", "/sequences/0/append", map[string]interface{}{"points": walkPoints(rng, 20)})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("append: %d %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Length int `json:"length"`
+	}
+	json.Unmarshal(rec.Body.Bytes(), &resp)
+	if resp.Length != 50 {
+		t.Errorf("length = %d", resp.Length)
+	}
+	if db.Segmented(0).Seq.Len() != 50 {
+		t.Error("append not applied")
+	}
+	rec = doJSON(t, s, "POST", "/sequences/99/append", map[string]interface{}{"points": walkPoints(rng, 5)})
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("append to unknown: %d", rec.Code)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 6; i++ {
+		doJSON(t, s, "POST", "/sequences", SequenceJSON{Label: fmt.Sprintf("s%d", i), Points: walkPoints(rng, 40)})
+	}
+	rec := doJSON(t, s, "POST", "/explain", SearchRequest{Points: walkPoints(rng, 20), Eps: 0.3})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("explain: %d %s", rec.Code, rec.Body)
+	}
+	var resp ExplainResponse
+	json.Unmarshal(rec.Body.Bytes(), &resp)
+	if resp.PrunedDmbr+resp.PrunedDnorm+resp.Matched != 6 {
+		t.Errorf("counts: %+v", resp)
+	}
+	if len(resp.Sequences) != 6 {
+		t.Errorf("sequences: %d", len(resp.Sequences))
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	rng := rand.New(rand.NewSource(5))
+	doJSON(t, s, "POST", "/sequences", SequenceJSON{Label: "x", Points: walkPoints(rng, 50)})
+	rec := doJSON(t, s, "GET", "/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatal(rec.Code)
+	}
+	var stats map[string]int
+	json.Unmarshal(rec.Body.Bytes(), &stats)
+	if stats["sequences"] != 1 || stats["mbrs"] < 1 {
+		t.Errorf("stats = %v", stats)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s, _ := newTestServer(t)
+	cases := []struct {
+		method, path string
+		body         string
+		wantStatus   int
+	}{
+		{"POST", "/sequences", `{`, http.StatusBadRequest},
+		{"POST", "/sequences", `{"label":"x","points":[]}`, http.StatusBadRequest},
+		{"POST", "/sequences", `{"label":"x","points":[[0.1]],"bogus":1}`, http.StatusBadRequest},
+		{"POST", "/search", `{"points":[[0.1,0.2,0.3]],"eps":-1}`, http.StatusBadRequest},
+		{"GET", "/sequences/notanumber", ``, http.StatusBadRequest},
+		{"POST", "/knn", `{"points":[],"k":3}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		req := httptest.NewRequest(c.method, c.path, bytes.NewBufferString(c.body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != c.wantStatus {
+			t.Errorf("%s %s: %d, want %d (%s)", c.method, c.path, rec.Code, c.wantStatus, rec.Body)
+		}
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	s, _ := newTestServer(t)
+	req := httptest.NewRequest("DELETE", "/stats", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed && rec.Code != http.StatusNotFound {
+		t.Errorf("DELETE /stats = %d", rec.Code)
+	}
+}

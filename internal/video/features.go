@@ -1,0 +1,106 @@
+package video
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// The paper's frames are "characterized by multiple feature attributes
+// such as color, texture or shape". Beyond the mean-color extractors in
+// video.go, this file adds a texture feature (edge energy), a luminance
+// histogram, and composition helpers so sequences of any dimensionality
+// can be built from the same rendered frames.
+
+// Luminance returns the BT.601 luma of a pixel.
+func Luminance(c RGB) float64 {
+	return 0.299*c.R + 0.587*c.G + 0.114*c.B
+}
+
+// EdgeEnergy measures texture as the mean gradient magnitude of the
+// frame's luminance (central differences, interior pixels; 1×1 and 1×n
+// frames have zero energy in the missing direction). The result is
+// normalized to [0,1] by the maximum possible gradient.
+func EdgeEnergy(f *Frame) float64 {
+	if f.W < 2 && f.H < 2 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			var gx, gy float64
+			if x > 0 && x < f.W-1 {
+				gx = (Luminance(f.At(x+1, y)) - Luminance(f.At(x-1, y))) / 2
+			}
+			if y > 0 && y < f.H-1 {
+				gy = (Luminance(f.At(x, y+1)) - Luminance(f.At(x, y-1))) / 2
+			}
+			sum += math.Hypot(gx, gy)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	// The largest per-axis central difference is 1/2, so the magnitude is
+	// at most √2/2; scale into [0,1].
+	return sum / float64(n) / (math.Sqrt2 / 2)
+}
+
+// LuminanceHistogram returns a normalized luminance histogram with the
+// given number of bins (each component in [0,1], summing to 1).
+func LuminanceHistogram(f *Frame, bins int) (geom.Point, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("video: invalid bin count %d", bins)
+	}
+	h := make(geom.Point, bins)
+	for _, px := range f.Pix {
+		b := int(Luminance(px) * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		h[b]++
+	}
+	n := float64(len(f.Pix))
+	for i := range h {
+		h[i] /= n
+	}
+	return h, nil
+}
+
+// ColorTexture is a 4-dimensional extractor: mean RGB plus edge energy —
+// the "color and texture" combination the paper's introduction sketches.
+func ColorTexture(f *Frame) geom.Point {
+	c := MeanColorRGB(f)
+	return append(c, EdgeEnergy(f))
+}
+
+// Compose fuses several extractors into one by concatenating their
+// feature vectors.
+func Compose(extractors ...Extractor) Extractor {
+	return func(f *Frame) geom.Point {
+		var out geom.Point
+		for _, e := range extractors {
+			out = append(out, e(f)...)
+		}
+		return out
+	}
+}
+
+// HistogramExtractor adapts LuminanceHistogram to the Extractor shape for
+// a fixed bin count (panics on invalid bins at construction time, not per
+// frame).
+func HistogramExtractor(bins int) Extractor {
+	if bins < 1 {
+		panic(fmt.Sprintf("video: invalid bin count %d", bins))
+	}
+	return func(f *Frame) geom.Point {
+		h, err := LuminanceHistogram(f, bins)
+		if err != nil {
+			panic(err) // unreachable: bins validated above
+		}
+		return h
+	}
+}

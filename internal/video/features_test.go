@@ -1,0 +1,178 @@
+package video
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func flatFrame(w, h int, c RGB) *Frame {
+	f := NewFrame(w, h)
+	for i := range f.Pix {
+		f.Pix[i] = c
+	}
+	return f
+}
+
+func TestLuminance(t *testing.T) {
+	if got := Luminance(RGB{1, 1, 1}); !almostEqual(got, 1) {
+		t.Errorf("white luma = %g", got)
+	}
+	if got := Luminance(RGB{0, 0, 0}); got != 0 {
+		t.Errorf("black luma = %g", got)
+	}
+	if g, r := Luminance(RGB{0, 1, 0}), Luminance(RGB{1, 0, 0}); g <= r {
+		t.Errorf("green luma %g should exceed red %g", g, r)
+	}
+}
+
+func TestEdgeEnergyFlatFrameIsZero(t *testing.T) {
+	f := flatFrame(8, 8, RGB{0.5, 0.5, 0.5})
+	if got := EdgeEnergy(f); got != 0 {
+		t.Errorf("flat frame energy = %g", got)
+	}
+}
+
+func TestEdgeEnergyDetectsContrast(t *testing.T) {
+	// Vertical black/white split: strong horizontal gradient.
+	f := NewFrame(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			if x < 4 {
+				f.Set(x, y, RGB{0, 0, 0})
+			} else {
+				f.Set(x, y, RGB{1, 1, 1})
+			}
+		}
+	}
+	split := EdgeEnergy(f)
+	if split <= 0 {
+		t.Fatal("split frame has zero energy")
+	}
+	noisy := flatFrame(8, 8, RGB{0.5, 0.5, 0.5})
+	if EdgeEnergy(noisy) >= split {
+		t.Error("flat frame should have less energy than split frame")
+	}
+	if split > 1 {
+		t.Errorf("energy %g exceeds normalized bound", split)
+	}
+}
+
+func TestEdgeEnergyDegenerateFrames(t *testing.T) {
+	if got := EdgeEnergy(flatFrame(1, 1, RGB{1, 0, 0})); got != 0 {
+		t.Errorf("1x1 energy = %g", got)
+	}
+	if got := EdgeEnergy(flatFrame(1, 5, RGB{1, 0, 0})); got != 0 {
+		t.Errorf("1x5 flat energy = %g", got)
+	}
+}
+
+func TestLuminanceHistogram(t *testing.T) {
+	f := NewFrame(2, 1)
+	f.Set(0, 0, RGB{0, 0, 0}) // luma 0 -> bin 0
+	f.Set(1, 0, RGB{1, 1, 1}) // luma 1 -> clamped to last bin
+	h, err := LuminanceHistogram(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(h[0], 0.5) || !almostEqual(h[3], 0.5) {
+		t.Errorf("histogram = %v", h)
+	}
+	var sum float64
+	for _, v := range h {
+		sum += v
+	}
+	if !almostEqual(sum, 1) {
+		t.Errorf("histogram sums to %g", sum)
+	}
+	if _, err := LuminanceHistogram(f, 0); err == nil {
+		t.Error("0 bins accepted")
+	}
+}
+
+func TestColorTextureDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	st, err := GenerateStream(rng, 10, StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ColorTexture(st.Frames[0])
+	if len(p) != 4 {
+		t.Fatalf("ColorTexture dim = %d", len(p))
+	}
+	if !p.InUnitCube() {
+		t.Errorf("features escape unit cube: %v", p)
+	}
+}
+
+func TestCompose(t *testing.T) {
+	ext := Compose(MeanColorRGB, HistogramExtractor(4))
+	f := flatFrame(4, 4, RGB{0.2, 0.4, 0.6})
+	p := ext(f)
+	if len(p) != 7 {
+		t.Fatalf("composed dim = %d, want 7", len(p))
+	}
+}
+
+func TestHistogramExtractorPanicsOnBadBins(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	HistogramExtractor(0)
+}
+
+// TestHighDimVideoPipeline indexes 7-dimensional video features end to
+// end: color + texture + a small histogram, searched with the same
+// machinery.
+func TestHighDimVideoPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ext := Compose(ColorTexture, HistogramExtractor(3))
+	db, err := core.NewDatabase(core.Options{Dim: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var seqs []*core.Sequence
+	for i := 0; i < 12; i++ {
+		st, err := GenerateStream(rng, 80+rng.Intn(60), StreamConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := ExtractSequence(st, ext)
+		if _, err := db.Add(s); err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, s)
+	}
+	q := &core.Sequence{Points: seqs[4].Points[10:40]}
+	matches, _, err := db.Search(q, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range matches {
+		if m.SeqID == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("7-dim pipeline missed the source sequence")
+	}
+	// No false dismissal against the exact scan.
+	exact, err := db.SequentialSearch(q, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[uint32]bool)
+	for _, m := range matches {
+		got[m.SeqID] = true
+	}
+	for _, r := range exact {
+		if !got[r.SeqID] {
+			t.Errorf("dismissed %d", r.SeqID)
+		}
+	}
+}

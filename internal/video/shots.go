@@ -1,0 +1,69 @@
+package video
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// DetectShots segments a feature sequence into shots by thresholding the
+// distance between consecutive feature points: index i (> 0) starts a new
+// shot when d(seq[i-1], seq[i]) > threshold. Index 0 always starts the
+// first shot. This is the classic hard-cut detector the paper's
+// introduction alludes to when discussing per-shot key frames.
+func DetectShots(seq *core.Sequence, threshold float64) []int {
+	if seq.Len() == 0 {
+		return nil
+	}
+	shots := []int{0}
+	for i := 1; i < seq.Len(); i++ {
+		if seq.Points[i-1].Dist(seq.Points[i]) > threshold {
+			shots = append(shots, i)
+		}
+	}
+	return shots
+}
+
+// AdaptiveCutThreshold returns mean + k·stddev of the consecutive-frame
+// feature distances — a data-driven threshold for DetectShots. For
+// sequences with a single frame it returns +Inf (no cuts are detectable).
+func AdaptiveCutThreshold(seq *core.Sequence, k float64) float64 {
+	n := seq.Len() - 1
+	if n < 1 {
+		return math.Inf(1)
+	}
+	var sum float64
+	dists := make([]float64, n)
+	for i := 1; i < seq.Len(); i++ {
+		d := seq.Points[i-1].Dist(seq.Points[i])
+		dists[i-1] = d
+		sum += d
+	}
+	mean := sum / float64(n)
+	var varSum float64
+	for _, d := range dists {
+		varSum += (d - mean) * (d - mean)
+	}
+	return mean + k*math.Sqrt(varSum/float64(n))
+}
+
+// KeyFrames returns one representative frame index per shot — the middle
+// frame, the common heuristic. The paper's point (Section 1) is that
+// searching only these frames "does not guarantee the correctness since it
+// cannot always summarize all the frames of a shot"; mdseq searches MBRs
+// over every frame instead. KeyFrames exists so that comparison can be
+// made (see the shots tests).
+func KeyFrames(seqLen int, shotStarts []int) []int {
+	if len(shotStarts) == 0 {
+		return nil
+	}
+	keys := make([]int, len(shotStarts))
+	for i, start := range shotStarts {
+		end := seqLen
+		if i+1 < len(shotStarts) {
+			end = shotStarts[i+1]
+		}
+		keys[i] = start + (end-start)/2
+	}
+	return keys
+}

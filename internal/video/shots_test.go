@@ -1,0 +1,146 @@
+package video
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+func TestDetectShotsOnGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	var tp, fp, fn int
+	for trial := 0; trial < 10; trial++ {
+		st, err := GenerateStream(rng, 300, StreamConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := ExtractSequence(st, MeanColorRGB)
+		thresh := AdaptiveCutThreshold(seq, 3)
+		got := DetectShots(seq, thresh)
+		want := st.ShotStarts
+
+		inWant := make(map[int]bool, len(want))
+		for _, s := range want {
+			inWant[s] = true
+		}
+		inGot := make(map[int]bool, len(got))
+		for _, s := range got {
+			inGot[s] = true
+		}
+		for _, s := range got {
+			if inWant[s] {
+				tp++
+			} else {
+				fp++
+			}
+		}
+		for _, s := range want {
+			if !inGot[s] {
+				fn++
+			}
+		}
+	}
+	precision := float64(tp) / float64(tp+fp)
+	recall := float64(tp) / float64(tp+fn)
+	if precision < 0.9 || recall < 0.9 {
+		t.Errorf("shot detection precision=%.3f recall=%.3f, want >= 0.9 each (tp=%d fp=%d fn=%d)",
+			precision, recall, tp, fp, fn)
+	}
+}
+
+func TestDetectShotsEdges(t *testing.T) {
+	if got := DetectShots(&core.Sequence{}, 0.1); got != nil {
+		t.Errorf("empty sequence shots = %v", got)
+	}
+	one := &core.Sequence{Points: []geom.Point{{0.5, 0.5, 0.5}}}
+	if got := DetectShots(one, 0.1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("single frame shots = %v", got)
+	}
+	if th := AdaptiveCutThreshold(one, 3); !math.IsInf(th, 1) {
+		t.Errorf("single-frame threshold = %g, want +Inf", th)
+	}
+}
+
+func TestDetectShotsFlatSequence(t *testing.T) {
+	pts := make([]geom.Point, 50)
+	for i := range pts {
+		pts[i] = geom.Point{0.4, 0.4, 0.4}
+	}
+	seq := &core.Sequence{Points: pts}
+	got := DetectShots(seq, 0.01)
+	if len(got) != 1 {
+		t.Errorf("flat sequence produced %d shots, want 1", len(got))
+	}
+}
+
+func TestKeyFrames(t *testing.T) {
+	keys := KeyFrames(100, []int{0, 40, 80})
+	want := []int{20, 60, 90}
+	if len(keys) != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Errorf("key %d = %d, want %d", i, keys[i], want[i])
+		}
+	}
+	if KeyFrames(10, nil) != nil {
+		t.Error("no shots should yield no keys")
+	}
+}
+
+// TestKeyFrameSearchMissesWhatMBRSearchFinds demonstrates the paper's
+// motivating claim (Section 1): "the search by a key frame does not
+// guarantee the correctness since it cannot always summarize all the
+// frames of a shot." We build a shot whose frames drift across the feature
+// space; a query matching the shot's tail is far from the key (middle)
+// frame but still within threshold of the actual frames — key-frame search
+// dismisses it, MBR search does not.
+func TestKeyFrameSearchMissesWhatMBRSearchFinds(t *testing.T) {
+	// One long "shot": features drifting linearly from 0.2 to 0.8.
+	n := 60
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		v := 0.2 + 0.6*float64(i)/float64(n-1)
+		pts[i] = geom.Point{v, v, v}
+	}
+	seq := &core.Sequence{Points: pts}
+
+	db, err := core.NewDatabase(core.Options{Dim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Add(seq); err != nil {
+		t.Fatal(err)
+	}
+
+	// Query: the tail of the drift.
+	q := &core.Sequence{Points: pts[50:]}
+	const eps = 0.05
+
+	// Key-frame search: compare the query's mean point against the shot's
+	// key frame only.
+	key := pts[KeyFrames(n, []int{0})[0]]
+	qMean := make(geom.Point, 3)
+	for _, p := range q.Points {
+		for k := range qMean {
+			qMean[k] += p[k] / float64(len(q.Points))
+		}
+	}
+	if key.Dist(qMean) <= eps {
+		t.Fatalf("example construction broken: key frame distance %g <= eps", key.Dist(qMean))
+	}
+
+	// MBR search finds the real match.
+	matches, _, err := db.Search(q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("MBR search found %d matches, want 1", len(matches))
+	}
+}

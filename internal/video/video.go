@@ -1,0 +1,303 @@
+// Package video is the video substrate: it synthesizes shot-structured
+// frame streams, renders each frame as a small raster, and extracts color
+// features (mean RGB or mean YCbCr) so that each frame becomes one point
+// of a multidimensional sequence — the paper's "video stream is modeled as
+// a trail of points in a multidimensional data space".
+//
+// The paper's corpus is 1408 real TV news/drama/documentary streams we do
+// not have; this package substitutes streams with the structural property
+// the paper itself credits for its video results: "the frames in the same
+// shot of a video stream have very similar feature values" (Section
+// 4.2.2). Frames within a shot share a slowly drifting base color with
+// small jitter; shot boundaries jump to a fresh base color.
+package video
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// RGB is one pixel with components in [0,1].
+type RGB struct {
+	R, G, B float64
+}
+
+// Frame is a row-major raster of RGB pixels.
+type Frame struct {
+	W, H int
+	Pix  []RGB
+}
+
+// NewFrame allocates a zeroed W×H frame.
+func NewFrame(w, h int) *Frame {
+	return &Frame{W: w, H: h, Pix: make([]RGB, w*h)}
+}
+
+// At returns the pixel at (x, y).
+func (f *Frame) At(x, y int) RGB { return f.Pix[y*f.W+x] }
+
+// Set writes the pixel at (x, y).
+func (f *Frame) Set(x, y int, c RGB) { f.Pix[y*f.W+x] = c }
+
+// MeanColorRGB averages all pixels into a 3-dimensional feature point —
+// the paper's "averaging color values of pixels of a frame".
+func MeanColorRGB(f *Frame) geom.Point {
+	var r, g, b float64
+	for _, px := range f.Pix {
+		r += px.R
+		g += px.G
+		b += px.B
+	}
+	n := float64(len(f.Pix))
+	return geom.Point{r / n, g / n, b / n}
+}
+
+// RGBToYCbCr converts one pixel to the BT.601 YCbCr space, with Cb and Cr
+// shifted into [0,1] (0.5 = neutral chroma).
+func RGBToYCbCr(c RGB) (y, cb, cr float64) {
+	y = 0.299*c.R + 0.587*c.G + 0.114*c.B
+	cb = 0.5 + (c.B-y)/1.772
+	cr = 0.5 + (c.R-y)/1.402
+	return y, clamp01(cb), clamp01(cr)
+}
+
+// MeanColorYCbCr averages all pixels in the YCbCr space (the paper's
+// alternative "RGB or YCbCr color space").
+func MeanColorYCbCr(f *Frame) geom.Point {
+	var sy, scb, scr float64
+	for _, px := range f.Pix {
+		y, cb, cr := RGBToYCbCr(px)
+		sy += y
+		scb += cb
+		scr += cr
+	}
+	n := float64(len(f.Pix))
+	return geom.Point{sy / n, scb / n, scr / n}
+}
+
+// Extractor maps a frame to its feature point.
+type Extractor func(*Frame) geom.Point
+
+// StreamConfig controls synthetic stream generation.
+type StreamConfig struct {
+	// FrameW, FrameH size the rendered rasters (default 16×16).
+	FrameW, FrameH int
+	// MinShotLen and MaxShotLen bound shot durations in frames
+	// (defaults 12 and 48).
+	MinShotLen, MaxShotLen int
+	// Jitter is the per-frame, per-pixel noise amplitude inside a shot
+	// (default 0.02).
+	Jitter float64
+	// Drift is the per-frame drift of the shot base color, modeling slow
+	// camera or lighting motion (default 0.003).
+	Drift float64
+	// MinCut is the minimum Euclidean distance (in RGB space) between
+	// consecutive shots' base colors, making cuts visible (default 0.2).
+	MinCut float64
+	// PaletteSpread confines a stream's shot base colors to a box of this
+	// half-width around a per-stream palette center, modeling that one
+	// program (a newscast, a drama episode) keeps a consistent look while
+	// different programs differ (default 0.25). Zero-spread streams are
+	// produced by setting it negative; the zero value means the default.
+	PaletteSpread float64
+}
+
+// DefaultStreamConfig returns the defaults documented on StreamConfig.
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{
+		FrameW: 16, FrameH: 16,
+		MinShotLen: 12, MaxShotLen: 48,
+		Jitter: 0.02, Drift: 0.003, MinCut: 0.2,
+		PaletteSpread: 0.25,
+	}
+}
+
+func (c *StreamConfig) fillDefaults() {
+	d := DefaultStreamConfig()
+	if c.FrameW == 0 {
+		c.FrameW = d.FrameW
+	}
+	if c.FrameH == 0 {
+		c.FrameH = d.FrameH
+	}
+	if c.MinShotLen == 0 {
+		c.MinShotLen = d.MinShotLen
+	}
+	if c.MaxShotLen == 0 {
+		c.MaxShotLen = d.MaxShotLen
+	}
+	if c.Jitter == 0 {
+		c.Jitter = d.Jitter
+	}
+	if c.Drift == 0 {
+		c.Drift = d.Drift
+	}
+	if c.MinCut == 0 {
+		c.MinCut = d.MinCut
+	}
+	if c.PaletteSpread == 0 {
+		c.PaletteSpread = d.PaletteSpread
+	}
+}
+
+func (c StreamConfig) validate() error {
+	if c.FrameW < 1 || c.FrameH < 1 {
+		return fmt.Errorf("video: invalid frame size %dx%d", c.FrameW, c.FrameH)
+	}
+	if c.MinShotLen < 1 || c.MaxShotLen < c.MinShotLen {
+		return fmt.Errorf("video: invalid shot lengths [%d,%d]", c.MinShotLen, c.MaxShotLen)
+	}
+	if c.Jitter < 0 || c.Drift < 0 || c.MinCut < 0 {
+		return fmt.Errorf("video: negative noise parameter")
+	}
+	return nil
+}
+
+// Stream is a rendered synthetic video: its frames plus the ground-truth
+// shot boundaries (frame indices at which new shots begin; index 0 is
+// always a boundary).
+type Stream struct {
+	Frames     []*Frame
+	ShotStarts []int
+}
+
+// GenerateStream renders a stream of exactly n frames.
+func GenerateStream(rng *rand.Rand, n int, cfg StreamConfig) (*Stream, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("video: invalid length %d", n)
+	}
+	st := &Stream{Frames: make([]*Frame, 0, n)}
+	palette := randRGB(rng)
+	base := paletteShotBase(rng, palette, cfg.PaletteSpread)
+	remainingInShot := 0
+	for i := 0; i < n; i++ {
+		if remainingInShot == 0 {
+			if i > 0 {
+				base = nextShotBase(rng, palette, base, cfg)
+			}
+			st.ShotStarts = append(st.ShotStarts, i)
+			remainingInShot = cfg.MinShotLen + rng.Intn(cfg.MaxShotLen-cfg.MinShotLen+1)
+		}
+		st.Frames = append(st.Frames, renderFrame(rng, base, cfg))
+		base = driftRGB(rng, base, cfg.Drift)
+		remainingInShot--
+	}
+	return st, nil
+}
+
+// renderFrame rasterizes one frame: the shot base color, a diagonal
+// luminance gradient (so frames are not flat fields), and per-pixel noise.
+func renderFrame(rng *rand.Rand, base RGB, cfg StreamConfig) *Frame {
+	f := NewFrame(cfg.FrameW, cfg.FrameH)
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			grad := 0.05 * (float64(x)/float64(f.W) + float64(y)/float64(f.H) - 1)
+			f.Set(x, y, RGB{
+				R: clamp01(base.R + grad + cfg.Jitter*(rng.Float64()*2-1)),
+				G: clamp01(base.G + grad + cfg.Jitter*(rng.Float64()*2-1)),
+				B: clamp01(base.B + grad + cfg.Jitter*(rng.Float64()*2-1)),
+			})
+		}
+	}
+	return f
+}
+
+// ExtractSequence maps every frame through the extractor into a sequence.
+func ExtractSequence(st *Stream, extract Extractor) *core.Sequence {
+	pts := make([]geom.Point, len(st.Frames))
+	for i, f := range st.Frames {
+		pts[i] = extract(f)
+	}
+	return &core.Sequence{Points: pts}
+}
+
+// GenerateFeatureSequence renders a stream and extracts mean-RGB features
+// in one step — a Figure 5-style sequence.
+func GenerateFeatureSequence(rng *rand.Rand, n int, cfg StreamConfig) (*core.Sequence, error) {
+	st, err := GenerateStream(rng, n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ExtractSequence(st, MeanColorRGB), nil
+}
+
+// GenerateSet produces count feature sequences with lengths uniform in
+// [minLen, maxLen] — the video half of the paper's Table 2.
+func GenerateSet(rng *rand.Rand, count, minLen, maxLen int, cfg StreamConfig) ([]*core.Sequence, error) {
+	if count < 0 || minLen < 1 || maxLen < minLen {
+		return nil, fmt.Errorf("video: invalid set spec count=%d len=[%d,%d]", count, minLen, maxLen)
+	}
+	out := make([]*core.Sequence, count)
+	for i := range out {
+		n := minLen + rng.Intn(maxLen-minLen+1)
+		s, err := GenerateFeatureSequence(rng, n, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.Label = fmt.Sprintf("video-%04d", i)
+		out[i] = s
+	}
+	return out, nil
+}
+
+func randRGB(rng *rand.Rand) RGB {
+	return RGB{rng.Float64(), rng.Float64(), rng.Float64()}
+}
+
+// paletteShotBase draws a shot base color inside the stream's palette box.
+func paletteShotBase(rng *rand.Rand, palette RGB, spread float64) RGB {
+	if spread < 0 {
+		spread = 0
+	}
+	return RGB{
+		R: clamp01(palette.R + spread*(rng.Float64()*2-1)),
+		G: clamp01(palette.G + spread*(rng.Float64()*2-1)),
+		B: clamp01(palette.B + spread*(rng.Float64()*2-1)),
+	}
+}
+
+// nextShotBase draws base colors from the palette until one is at least
+// MinCut away from the previous shot's, so cuts are actual
+// discontinuities. After a bounded number of attempts (tight palettes can
+// make the constraint infeasible near corners) it takes the farthest draw.
+func nextShotBase(rng *rand.Rand, palette, prev RGB, cfg StreamConfig) RGB {
+	best := paletteShotBase(rng, palette, cfg.PaletteSpread)
+	bestD := rgbDist(best, prev)
+	for try := 0; try < 32 && bestD < cfg.MinCut; try++ {
+		c := paletteShotBase(rng, palette, cfg.PaletteSpread)
+		if d := rgbDist(c, prev); d > bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+func rgbDist(a, b RGB) float64 {
+	return math.Sqrt((a.R-b.R)*(a.R-b.R) + (a.G-b.G)*(a.G-b.G) + (a.B-b.B)*(a.B-b.B))
+}
+
+func driftRGB(rng *rand.Rand, c RGB, drift float64) RGB {
+	return RGB{
+		R: clamp01(c.R + drift*(rng.Float64()*2-1)),
+		G: clamp01(c.G + drift*(rng.Float64()*2-1)),
+		B: clamp01(c.B + drift*(rng.Float64()*2-1)),
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,220 @@
+package video
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestFrameAccessors(t *testing.T) {
+	f := NewFrame(4, 3)
+	if f.W != 4 || f.H != 3 || len(f.Pix) != 12 {
+		t.Fatalf("NewFrame shape wrong: %+v", f)
+	}
+	c := RGB{0.1, 0.2, 0.3}
+	f.Set(2, 1, c)
+	if f.At(2, 1) != c {
+		t.Errorf("At/Set round trip failed")
+	}
+}
+
+func TestMeanColorRGB(t *testing.T) {
+	f := NewFrame(2, 1)
+	f.Set(0, 0, RGB{0, 0.5, 1})
+	f.Set(1, 0, RGB{1, 0.5, 0})
+	got := MeanColorRGB(f)
+	want := geom.Point{0.5, 0.5, 0.5}
+	if !got.Equal(want) {
+		t.Errorf("MeanColorRGB = %v, want %v", got, want)
+	}
+}
+
+func TestRGBToYCbCr(t *testing.T) {
+	// Pure white: Y=1, neutral chroma.
+	y, cb, cr := RGBToYCbCr(RGB{1, 1, 1})
+	if !almostEqual(y, 1) || !almostEqual(cb, 0.5) || !almostEqual(cr, 0.5) {
+		t.Errorf("white -> (%g,%g,%g), want (1,0.5,0.5)", y, cb, cr)
+	}
+	// Pure black: Y=0, neutral chroma.
+	y, cb, cr = RGBToYCbCr(RGB{0, 0, 0})
+	if !almostEqual(y, 0) || !almostEqual(cb, 0.5) || !almostEqual(cr, 0.5) {
+		t.Errorf("black -> (%g,%g,%g), want (0,0.5,0.5)", y, cb, cr)
+	}
+	// Pure red: Cr at maximum.
+	_, _, cr = RGBToYCbCr(RGB{1, 0, 0})
+	if !almostEqual(cr, 1) {
+		t.Errorf("red Cr = %g, want 1", cr)
+	}
+	// Pure blue: Cb at maximum.
+	_, cb, _ = RGBToYCbCr(RGB{0, 0, 1})
+	if !almostEqual(cb, 1) {
+		t.Errorf("blue Cb = %g, want 1", cb)
+	}
+}
+
+func TestMeanColorYCbCrInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := NewFrame(8, 8)
+	for i := range f.Pix {
+		f.Pix[i] = RGB{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	p := MeanColorYCbCr(f)
+	if !p.InUnitCube() {
+		t.Errorf("YCbCr mean %v escapes unit cube", p)
+	}
+}
+
+func TestGenerateStreamShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	st, err := GenerateStream(rng, 200, StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Frames) != 200 {
+		t.Fatalf("frames = %d", len(st.Frames))
+	}
+	if len(st.ShotStarts) < 200/48 {
+		t.Errorf("only %d shots in 200 frames", len(st.ShotStarts))
+	}
+	if st.ShotStarts[0] != 0 {
+		t.Errorf("first shot starts at %d, want 0", st.ShotStarts[0])
+	}
+	for i := 1; i < len(st.ShotStarts); i++ {
+		gap := st.ShotStarts[i] - st.ShotStarts[i-1]
+		if gap < 12 || gap > 48 {
+			t.Errorf("shot %d length %d outside [12,48]", i-1, gap)
+		}
+	}
+}
+
+func TestGenerateStreamValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := GenerateStream(rng, 0, StreamConfig{}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := GenerateStream(rng, 10, StreamConfig{MinShotLen: 10, MaxShotLen: 5}); err == nil {
+		t.Error("inverted shot range accepted")
+	}
+	if _, err := GenerateStream(rng, 10, StreamConfig{Jitter: -1}); err == nil {
+		t.Error("negative jitter accepted")
+	}
+}
+
+// TestShotStructureVisibleInFeatures is the load-bearing property of the
+// substitution: within a shot, consecutive feature points are much closer
+// than across a cut.
+func TestShotStructureVisibleInFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	st, err := GenerateStream(rng, 400, StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := ExtractSequence(st, MeanColorRGB)
+	isCut := make(map[int]bool)
+	for _, s := range st.ShotStarts {
+		if s > 0 {
+			isCut[s] = true
+		}
+	}
+	var within, across float64
+	var nWithin, nAcross int
+	for i := 1; i < seq.Len(); i++ {
+		d := seq.Points[i].Dist(seq.Points[i-1])
+		if isCut[i] {
+			across += d
+			nAcross++
+		} else {
+			within += d
+			nWithin++
+		}
+	}
+	if nAcross == 0 || nWithin == 0 {
+		t.Fatal("degenerate stream: no cuts or no within-shot steps")
+	}
+	within /= float64(nWithin)
+	across /= float64(nAcross)
+	if across < 5*within {
+		t.Errorf("cut step %g not clearly larger than within-shot step %g", across, within)
+	}
+}
+
+func TestExtractSequenceInUnitCube(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	st, _ := GenerateStream(rng, 100, StreamConfig{})
+	for _, ext := range []Extractor{MeanColorRGB, MeanColorYCbCr} {
+		seq := ExtractSequence(st, ext)
+		if seq.Len() != 100 {
+			t.Fatalf("extracted %d points", seq.Len())
+		}
+		if !seq.InUnitCube() {
+			t.Error("features escape unit cube")
+		}
+		if err := seq.Validate(); err != nil {
+			t.Errorf("invalid sequence: %v", err)
+		}
+	}
+}
+
+func TestGenerateFeatureSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s, err := GenerateFeatureSequence(rng, 150, StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 150 || s.Dim() != 3 {
+		t.Errorf("shape = (%d, %d)", s.Len(), s.Dim())
+	}
+}
+
+func TestGenerateSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	set, err := GenerateSet(rng, 20, 56, 512, StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 20 {
+		t.Fatalf("set size = %d", len(set))
+	}
+	for _, s := range set {
+		if s.Len() < 56 || s.Len() > 512 {
+			t.Errorf("length %d outside range", s.Len())
+		}
+	}
+	if _, err := GenerateSet(rng, 5, 0, 10, StreamConfig{}); err == nil {
+		t.Error("minLen=0 accepted")
+	}
+}
+
+// TestVideoPartitionsTighterThanNoise confirms the clustering that drives
+// the paper's Figures 7 and 9: shot-structured sequences partition into
+// fewer MBRs per point than unstructured noise.
+func TestVideoPartitionsTighterThanNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cfg := core.DefaultPartitionConfig()
+	vid, err := GenerateFeatureSequence(rng, 300, StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisePts := make([]geom.Point, 300)
+	for i := range noisePts {
+		noisePts[i] = geom.Point{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	gv, _ := core.NewSegmented(vid, cfg)
+	gn, _ := core.NewSegmented(&core.Sequence{Points: noisePts}, cfg)
+	if len(gv.MBRs) >= len(gn.MBRs) {
+		t.Errorf("video MBRs %d >= noise MBRs %d; expected tighter clustering", len(gv.MBRs), len(gn.MBRs))
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	if clamp01(-0.5) != 0 || clamp01(1.5) != 1 || clamp01(0.25) != 0.25 {
+		t.Error("clamp01 broken")
+	}
+}

@@ -1,0 +1,163 @@
+// Package mdseq is a similarity-search engine for multidimensional data
+// sequences, implementing Lee, Chun, Kim, Lee & Chung, "Similarity Search
+// for Multidimensional Data Sequences" (ICDE 2000).
+//
+// A multidimensional data sequence is an ordered series of n-dimensional
+// feature vectors — a video stream with one color point per frame, an
+// image's regions in space-filling-curve order, or a sliding-window
+// embedding of a time series. mdseq stores such sequences, partitions each
+// into minimum bounding rectangles with the paper's marginal-cost rule,
+// indexes the MBRs in a disk-backed R*-tree, and answers range queries
+// ("find sequences within distance ε of this query, and the sub-ranges
+// where they match") with two pruning passes — the MBR distance Dmbr and
+// the normalized distance Dnorm — that guarantee no false dismissals for
+// sequence selection.
+//
+// # Quick start
+//
+//	db, err := mdseq.Open(mdseq.Options{Dim: 3})
+//	...
+//	id, err := db.Add(seq)                  // seq: *mdseq.Sequence
+//	matches, stats, err := db.Search(q, 0.1)
+//	for _, m := range matches {
+//	    fmt.Println(m.SeqID, m.Interval.Ranges()) // matching sub-ranges
+//	}
+//
+// The subpackages under internal implement the substrates (geometry, page
+// store, R*-tree, workload generators); this package is the supported
+// surface.
+package mdseq
+
+import (
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/store"
+)
+
+// Point is an n-dimensional feature vector.
+type Point = geom.Point
+
+// Rect is an n-dimensional minimum bounding rectangle.
+type Rect = geom.Rect
+
+// Sequence is a multidimensional data sequence (Definition 1 of the
+// paper).
+type Sequence = core.Sequence
+
+// MBRInfo is one partition of a sequence: its bounding rectangle and the
+// half-open point-index range it covers.
+type MBRInfo = core.MBRInfo
+
+// Segmented couples a sequence with its MBR partitioning.
+type Segmented = core.Segmented
+
+// PartitionConfig tunes the paper's MCOST partitioning algorithm.
+type PartitionConfig = core.PartitionConfig
+
+// Match is one search result: a sequence within threshold plus the
+// approximated solution interval locating where it matches.
+type Match = core.Match
+
+// SearchStats describes the work each phase of a search did.
+type SearchStats = core.SearchStats
+
+// ScanResult is one exact result from the sequential-scan baseline.
+type ScanResult = core.ScanResult
+
+// PointRange is a half-open range of point indices.
+type PointRange = core.PointRange
+
+// IntervalSet is a normalized union of point ranges — a solution interval.
+type IntervalSet = core.IntervalSet
+
+// DnormResult carries a normalized distance and the MBR window realizing
+// it.
+type DnormResult = core.DnormResult
+
+// Options configures a database.
+type Options = core.Options
+
+// DB is a sequence database: storage, partitioning, spatial index, and the
+// three-phase similarity search.
+type DB = core.Database
+
+// Open creates a database. With Options.Path set the index pages live in
+// that file; otherwise everything stays in memory.
+func Open(opts Options) (*DB, error) { return core.NewDatabase(opts) }
+
+// NewSequence validates points and wraps them into a Sequence.
+func NewSequence(label string, points []Point) (*Sequence, error) {
+	return core.NewSequence(label, points)
+}
+
+// DefaultPartitionConfig returns the paper's partitioning constants
+// (Q_k + ε = 0.3, 64-point cap).
+func DefaultPartitionConfig() PartitionConfig { return core.DefaultPartitionConfig() }
+
+// Partition segments a sequence with the paper's marginal-cost rule.
+func Partition(s *Sequence, cfg PartitionConfig) ([]MBRInfo, error) {
+	return core.Partition(s, cfg)
+}
+
+// D is the sequence distance of Definitions 2–3: mean point distance for
+// equal lengths, minimum sliding mean otherwise.
+func D(s1, s2 *Sequence) float64 { return core.D(s1, s2) }
+
+// Dmean is the mean point distance between equal-length point slices.
+func Dmean(a, b []Point) float64 { return core.Dmean(a, b) }
+
+// Dmbr is the minimum Euclidean distance between two MBRs (Definition 4).
+func Dmbr(a, b Rect) float64 { return a.MinDist(b) }
+
+// Dnorm is the normalized MBR distance (Definition 5) between a query MBR
+// (rectangle plus point count) and the j-th MBR of a segmented sequence.
+func Dnorm(qRect Rect, qCount int, g *Segmented, j int) DnormResult {
+	return core.Dnorm(qRect, qCount, g, j)
+}
+
+// MinDnorm is min over targets of Dnorm — the pruning bound of Lemma 3.
+func MinDnorm(qRect Rect, qCount int, g *Segmented) float64 {
+	return core.MinDnorm(qRect, qCount, g)
+}
+
+// BestAlignment returns the offset of the best alignment of the shorter
+// point slice inside the longer, with its mean distance.
+func BestAlignment(a, b []Point) (offset int, dist float64) {
+	return core.BestAlignment(a, b)
+}
+
+// DistToSimilarity maps a distance in the n-dimensional unit cube to a
+// similarity in [0,1].
+func DistToSimilarity(dist float64, n int) float64 { return geom.DistToSimilarity(dist, n) }
+
+// KNNResult is one ranked result of DB.SearchKNN.
+type KNNResult = core.KNNResult
+
+// Explanation is the decision record produced by DB.Explain.
+type Explanation = core.Explanation
+
+// OpenExisting reattaches to a previously flushed index file, restoring
+// the given sequences in their original order (see core.OpenDatabase).
+func OpenExisting(opts Options, seqs []*Sequence) (*DB, error) {
+	return core.OpenDatabase(opts, seqs)
+}
+
+// DTW is the dynamic time warping distance with a Sakoe–Chiba band of the
+// given half-width (negative = unconstrained), normalized by the longer
+// length. Use it to re-rank Search results when elastic matching matters;
+// it does not lower-bound D and cannot replace it inside the index.
+func DTW(a, b []Point, window int) (float64, error) { return core.DTW(a, b, window) }
+
+// RefineDTW re-ranks matches by DTW between the query and each match's
+// widest solution-interval range.
+func RefineDTW(q *Sequence, matches []Match, window int) []Match {
+	return core.RefineDTW(q, matches, window)
+}
+
+// Save persists db (live sequences + configuration) into a directory that
+// Load can restore. Numeric ids are not preserved; labels are.
+func Save(db *DB, dir string) error { return store.Save(db, dir) }
+
+// Load restores a database saved with Save, rebuilding its index (in
+// <dir>/index.db when fileIndex is set, in memory otherwise).
+func Load(dir string, fileIndex bool) (*DB, error) { return store.Load(dir, fileIndex) }
