@@ -230,6 +230,63 @@ func BenchmarkAblationFanout(b *testing.B) {
 	}
 }
 
+// --- scale-out: scatter-gather over hash shards -------------------------
+
+// setupSharded distributes the (scaled) synthetic corpus over n shards.
+func setupSharded(b *testing.B, n int) (*mdseq.ShardedDB, []*core.Sequence) {
+	b.Helper()
+	syn, _ := setupBenches(b)
+	seqs := syn.DB.Sequences()
+	cloned := make([]*core.Sequence, len(seqs))
+	for i, s := range seqs {
+		cloned[i] = s.Clone()
+	}
+	sdb, err := mdseq.OpenSharded(mdseq.Options{Dim: 3}, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { sdb.Close() })
+	if _, err := sdb.AddAll(cloned); err != nil {
+		b.Fatal(err)
+	}
+	return sdb, syn.Queries
+}
+
+// BenchmarkShardedSearch compares range-search latency across shard
+// counts on the same corpus — the scale-out trajectory for BENCH_*.json.
+// shards=1 approximates the single-node baseline plus dispatch overhead.
+func BenchmarkShardedSearch(b *testing.B) {
+	for _, n := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			sdb, queries := setupSharded(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				if _, _, err := sdb.Search(q, 0.20); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedKNN is the kNN counterpart: per-shard top-k with
+// running-bound seeding, then the gather-side merge.
+func BenchmarkShardedKNN(b *testing.B) {
+	for _, n := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			sdb, queries := setupSharded(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				if _, err := sdb.SearchKNN(q, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- micro-benchmarks of the primitives the figures are built from ---
 
 func BenchmarkDmbr(b *testing.B) {

@@ -103,6 +103,116 @@ func TestFacadeLifecycle(t *testing.T) {
 	}
 }
 
+// TestFacadeSharded drives the sharded surface end to end: open, bulk
+// load, scatter-gather search and kNN against the single-node answers,
+// save, reload, placement check.
+func TestFacadeSharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	seqs := make([]*mdseq.Sequence, 24)
+	for i := range seqs {
+		seqs[i] = walk(rng, 60)
+		seqs[i].Label = "shard-seq-" + string(rune('a'+i))
+	}
+	clone := func() []*mdseq.Sequence {
+		out := make([]*mdseq.Sequence, len(seqs))
+		for i, s := range seqs {
+			out[i] = s.Clone()
+		}
+		return out
+	}
+
+	single, err := mdseq.Open(mdseq.Options{Dim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	if _, err := single.AddAll(clone()); err != nil {
+		t.Fatal(err)
+	}
+
+	sdb, err := mdseq.OpenSharded(mdseq.Options{Dim: 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sdb.Close()
+	if _, err := sdb.AddAll(clone()); err != nil {
+		t.Fatal(err)
+	}
+	if sdb.Shards() != 4 || sdb.Len() != 24 {
+		t.Fatalf("sharded shape: %d shards, %d sequences", sdb.Shards(), sdb.Len())
+	}
+
+	// Both topologies implement the Store interface.
+	for _, db := range []mdseq.Store{single, sdb} {
+		if db.Len() != 24 {
+			t.Fatalf("Len = %d", db.Len())
+		}
+	}
+
+	q := &mdseq.Sequence{Points: seqs[9].Points[10:40]}
+	wantM, _, err := single.Search(q, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotM, _, err := sdb.Search(q, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	label := func(ms []mdseq.Match) map[string]bool {
+		out := make(map[string]bool)
+		for _, m := range ms {
+			out[m.Seq.Label] = true
+		}
+		return out
+	}
+	if got, want := label(gotM), label(wantM); len(got) != len(want) {
+		t.Fatalf("sharded matches %v, want %v", got, want)
+	} else {
+		for l := range want {
+			if !got[l] {
+				t.Fatalf("sharded search missing %q", l)
+			}
+		}
+	}
+
+	nn, err := sdb.SearchKNN(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 3 || nn[0].Seq.Label != seqs[9].Label || nn[0].Dist != 0 {
+		t.Fatalf("sharded knn = %+v", nn)
+	}
+
+	// Placement rule is exported and must agree with actual placement.
+	for _, s := range sdb.Sequences() {
+		wantShard := mdseq.ShardFor(s.Label, 4)
+		if gotShard := int(s.ID % 4); gotShard != wantShard {
+			t.Fatalf("sequence %q on shard %d, placement rule says %d", s.Label, gotShard, wantShard)
+		}
+	}
+
+	// Save / reload round trip.
+	dir := filepath.Join(t.TempDir(), "sharded")
+	if err := mdseq.SaveSharded(sdb, dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := mdseq.LoadSharded(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if loaded.Shards() != 4 || loaded.Len() != 24 {
+		t.Fatalf("reloaded shape: %d shards, %d sequences", loaded.Shards(), loaded.Len())
+	}
+	reM, _, err := loaded.Search(q, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reM) != len(gotM) {
+		t.Fatalf("reloaded search %d matches, want %d", len(reM), len(gotM))
+	}
+}
+
 // TestFacadeOpenExisting exercises the reattach path directly.
 func TestFacadeOpenExisting(t *testing.T) {
 	dir := t.TempDir()

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -107,6 +108,46 @@ func TestQueryErrors(t *testing.T) {
 	}
 	if err := Query([]string{"-data", data, "-query", "0", "-from", "9999"}, &out); err == nil {
 		t.Error("out-of-range offset accepted")
+	}
+}
+
+func TestQuerySharded(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "d.mds")
+	var out strings.Builder
+	if err := Gen([]string{"-kind", "fractal", "-count", "20", "-maxlen", "120", "-seed", "11", "-o", data}, &out); err != nil {
+		t.Fatal(err)
+	}
+	run := func(shards string) string {
+		var buf strings.Builder
+		err := Query([]string{"-data", data, "-query", "3", "-from", "5", "-len", "30",
+			"-eps", "0.15", "-baseline", "-shards", shards}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	sharded := run("4")
+	if !strings.Contains(sharded, "4 shard(s)") {
+		t.Errorf("sharded query output missing shard count:\n%s", sharded)
+	}
+	if strings.Contains(sharded, "false dismissal") {
+		t.Errorf("sharded query reported a false dismissal:\n%s", sharded)
+	}
+	if !strings.Contains(sharded, "fractal-0003") {
+		t.Errorf("source sequence missing from sharded output:\n%s", sharded)
+	}
+	// Match count must agree between topologies.
+	single := run("1")
+	matchCount := regexp.MustCompile(`\((\d+) matches\)`)
+	want := matchCount.FindStringSubmatch(single)
+	got := matchCount.FindStringSubmatch(sharded)
+	if want == nil || got == nil || want[1] != got[1] {
+		t.Errorf("match counts diverge: single %v vs sharded %v", want, got)
+	}
+
+	if err := Query([]string{"-data", data, "-shards", "0"}, &out); err == nil {
+		t.Error("shard count 0 accepted")
 	}
 }
 

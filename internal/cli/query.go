@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/seqio"
+	"repro/internal/shard"
 )
 
 // Query implements mdsquery: load a dataset, index it, run one query.
@@ -26,6 +27,7 @@ func Query(args []string, stdout io.Writer) error {
 		knn      = fs.Int("knn", 0, "additionally report the k nearest sequences by exact distance")
 		dtw      = fs.Bool("dtw", false, "re-rank matches by dynamic time warping distance")
 		explain  = fs.Bool("explain", false, "print per-sequence pruning decisions")
+		shards   = fs.Int("shards", 1, "hash-partition the corpus over this many shards (scatter-gather search)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,7 +58,15 @@ func Query(args []string, stdout io.Writer) error {
 	}
 	q := &core.Sequence{Label: "query", Points: src.Points[*from:end]}
 
-	db, err := core.NewDatabase(core.Options{Dim: seqs[0].Dim()})
+	if *shards < 1 {
+		return fmt.Errorf("-shards %d: shard count must be >= 1", *shards)
+	}
+	var db shard.DB
+	if *shards > 1 {
+		db, err = shard.New(core.Options{Dim: seqs[0].Dim()}, *shards)
+	} else {
+		db, err = core.NewDatabase(core.Options{Dim: seqs[0].Dim()})
+	}
 	if err != nil {
 		return err
 	}
@@ -65,8 +75,8 @@ func Query(args []string, stdout io.Writer) error {
 	if _, err := db.AddAll(seqs); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "indexed %d sequences (%d MBRs, R*-tree height %d) in %v\n",
-		db.Len(), db.NumMBRs(), db.IndexHeight(), time.Since(t0).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "indexed %d sequences (%d MBRs, R*-tree height %d, %d shard(s)) in %v\n",
+		db.Len(), db.NumMBRs(), db.IndexHeight(), db.Shards(), time.Since(t0).Round(time.Millisecond))
 	fmt.Fprintf(stdout, "query: %d points from %s[%d:%d], eps=%.3f\n", q.Len(), src.Label, *from, end, *eps)
 
 	matches, stats, err := db.Search(q, *eps)

@@ -282,6 +282,14 @@ func (db *Database) IndexFanout() int {
 // PartitionConfig returns the partitioning settings in force.
 func (db *Database) PartitionConfig() PartitionConfig { return db.opts.Partition }
 
+// Dim returns the dimensionality every stored sequence must have.
+func (db *Database) Dim() int { return db.opts.Dim }
+
+// Shards returns the number of independent index partitions — always 1
+// for a single-node database. It exists so *Database satisfies the same
+// serving interface as the sharded implementation (internal/shard).
+func (db *Database) Shards() int { return 1 }
+
 // PagerStats exposes the index page-access counters.
 func (db *Database) PagerStats() pager.Stats { return db.pg.Stats() }
 

@@ -26,6 +26,18 @@ type KNNResult struct {
 // the exact distance only until the next lower bound exceeds the k-th best
 // exact distance — so most sequences are never scanned.
 func (db *Database) SearchKNN(q *Sequence, k int) ([]KNNResult, error) {
+	return db.SearchKNNBounded(q, k, math.Inf(1))
+}
+
+// SearchKNNBounded is SearchKNN restricted to sequences with D(Q,S) ≤
+// bound: refinement stops as soon as the next Dnorm lower bound exceeds
+// min(bound, current k-th best), and results beyond bound are dropped
+// even when fewer than k qualify. A scatter-gather caller that already
+// holds k results at distance w can pass bound=w to later shards and
+// prune their refinement without risking a false dismissal (any sequence
+// it skips has D > w and cannot re-enter the global top k).
+// bound=+Inf is exactly SearchKNN.
+func (db *Database) SearchKNNBounded(q *Sequence, k int, bound float64) ([]KNNResult, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -66,19 +78,22 @@ func (db *Database) SearchKNN(q *Sequence, k int) ([]KNNResult, error) {
 		heap.Push(h, knnCand{id: uint32(id), bound: bound})
 	}
 
-	// Refine in bound order; stop when the next bound cannot improve on
-	// the current k-th best exact distance.
+	// Refine in bound order; stop when the next lower bound cannot beat
+	// the caller's bound or the current k-th best exact distance.
 	var out []KNNResult
-	worst := math.Inf(1)
+	worst := bound
 	for h.Len() > 0 {
 		c := heap.Pop(h).(knnCand)
-		if len(out) >= k && c.bound > worst {
+		if c.bound > worst {
 			break
 		}
 		g := db.seqs[c.id]
 		off, dist := BestAlignment(q.Points, g.Seq.Points)
+		if dist > bound {
+			continue
+		}
 		out = insertKNN(out, KNNResult{SeqID: c.id, Seq: g.Seq, Dist: dist, Offset: off}, k)
-		if len(out) == k {
+		if len(out) == k && out[len(out)-1].Dist < worst {
 			worst = out[len(out)-1].Dist
 		}
 	}

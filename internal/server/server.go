@@ -1,9 +1,13 @@
 // Package server exposes a sequence database over HTTP/JSON: ingest,
 // search (range, k-NN), streaming append, explain, and stats. It is the
-// serving layer for mdseq (cmd/mdsserve), stdlib net/http only.
+// serving layer for mdseq (cmd/mdsserve), stdlib net/http only. The
+// database behind it is anything satisfying shard.DB — a single-node
+// *core.Database or a scatter-gather *shard.ShardedDB — so topology is a
+// deployment choice, invisible to clients.
 //
 // Endpoints:
 //
+//	GET    /healthz                   liveness + shard/sequence counts
 //	GET    /stats                     database shape
 //	POST   /sequences                 {label, points} -> {id}
 //	POST   /sequences/batch           {sequences:[...]} -> {ids}
@@ -26,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/shard"
 )
 
 // maxBodyBytes bounds request bodies (64 MiB covers any realistic batch).
@@ -33,13 +38,14 @@ const maxBodyBytes = 64 << 20
 
 // Server handles HTTP requests against one database.
 type Server struct {
-	db  *core.Database
+	db  shard.DB
 	mux *http.ServeMux
 }
 
-// New builds a Server around db.
-func New(db *core.Database) *Server {
+// New builds a Server around db (single-node or sharded).
+func New(db shard.DB) *Server {
 	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /sequences", s.handleAdd)
 	s.mux.HandleFunc("POST /sequences/batch", s.handleAddBatch)
@@ -52,9 +58,13 @@ func New(db *core.Database) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request body — POST handlers
+// included — is capped by MaxBytesReader before the mux dispatches, so an
+// oversized batch fails with 413 instead of exhausting memory.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -125,10 +135,20 @@ type ExplainedCandidate struct {
 
 // --- handlers -----------------------------------------------------------
 
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":    "ok",
+		"shards":    s.db.Shards(),
+		"sequences": s.db.Len(),
+		"mbrs":      s.db.NumMBRs(),
+	})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"sequences":   s.db.Len(),
 		"mbrs":        s.db.NumMBRs(),
+		"shards":      s.db.Shards(),
 		"indexHeight": s.db.IndexHeight(),
 		"indexFanout": s.db.IndexFanout(),
 	})
@@ -341,6 +361,12 @@ func decode(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return false
 	}

@@ -1,0 +1,48 @@
+package shard
+
+import (
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// DB is the database surface the serving layers (internal/server,
+// internal/cli, cmd/*) program against. Both the single-node
+// *core.Database and the scatter-gather *ShardedDB satisfy it, so a
+// deployment picks its topology with a flag, not a code path. Later
+// scale work (remote shards, replicas) slots in behind the same
+// interface.
+type DB interface {
+	// Writes.
+	Add(*core.Sequence) (uint32, error)
+	AddAll([]*core.Sequence) ([]uint32, error)
+	Remove(uint32) error
+	AppendPoints(uint32, []geom.Point) error
+
+	// Lookups.
+	Segmented(uint32) *core.Segmented
+	Sequences() []*core.Sequence
+
+	// Queries.
+	Search(*core.Sequence, float64) ([]core.Match, core.SearchStats, error)
+	SearchParallel(*core.Sequence, float64, int) ([]core.Match, core.SearchStats, error)
+	SearchKNN(*core.Sequence, int) ([]core.KNNResult, error)
+	SequentialSearch(*core.Sequence, float64) ([]core.ScanResult, error)
+	Explain(*core.Sequence, float64) (*core.Explanation, error)
+
+	// Shape.
+	Len() int
+	NumMBRs() int
+	IndexHeight() int
+	IndexFanout() int
+	Shards() int
+	Dim() int
+
+	// Lifecycle.
+	Flush() error
+	Close() error
+}
+
+var (
+	_ DB = (*core.Database)(nil)
+	_ DB = (*ShardedDB)(nil)
+)

@@ -1,0 +1,99 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// SearchKNN scatters a k-nearest-sequences query: every shard computes
+// its local top k concurrently, and the gather side merges the disjoint
+// lists into the global top k (nondecreasing distance, global ids).
+//
+// The gather keeps a running k-th-best distance; each shard reads it as
+// its refinement bound just before starting (core.SearchKNNBounded), so
+// shards that begin after k results exist skip refining any sequence
+// whose Dnorm lower bound already exceeds the global k-th distance. The
+// seed only ever tightens a valid upper bound, so no neighbor can be
+// dismissed: a pruned sequence has D > bound ≥ final k-th distance.
+func (s *ShardedDB) SearchKNN(q *core.Sequence, k int) ([]core.KNNResult, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	n := len(s.shards)
+
+	// gather holds the running global top k; worst() is the seed bound.
+	gather := &knnGather{k: k}
+	errs := make([]error, n)
+	sem := make(chan struct{}, scatterWorkers(n))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			local, err := s.shards[i].SearchKNNBounded(q, k, gather.worst())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for j := range local {
+				local[j].SeqID = s.globalID(i, local[j].SeqID)
+			}
+			gather.merge(local)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard: shard %d: %w", i, err)
+		}
+	}
+	return gather.top(), nil
+}
+
+// knnGather accumulates per-shard top-k lists into a global top k.
+type knnGather struct {
+	mu  sync.Mutex
+	k   int
+	out []core.KNNResult // sorted nondecreasing by Dist, ≤ k entries
+}
+
+// worst returns the current k-th best distance, or +Inf while fewer than
+// k results have been gathered.
+func (g *knnGather) worst() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.out) < g.k {
+		return math.Inf(1)
+	}
+	return g.out[len(g.out)-1].Dist
+}
+
+func (g *knnGather) merge(rs []core.KNNResult) {
+	if len(rs) == 0 {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.out = append(g.out, rs...)
+	sort.Slice(g.out, func(a, b int) bool {
+		if g.out[a].Dist != g.out[b].Dist {
+			return g.out[a].Dist < g.out[b].Dist
+		}
+		return g.out[a].SeqID < g.out[b].SeqID
+	})
+	if len(g.out) > g.k {
+		g.out = g.out[:g.k]
+	}
+}
+
+func (g *knnGather) top() []core.KNNResult {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.out
+}

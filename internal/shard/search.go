@@ -1,0 +1,177 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// ShardStats pairs a shard index with the statistics its local search
+// produced, so callers can spot skewed shards.
+type ShardStats struct {
+	Shard int
+	Stats core.SearchStats
+}
+
+// Search runs the three-phase range search on every shard concurrently
+// (bounded worker pool) and merges the answers. The result set is the
+// union of the per-shard sets — identical, modulo global-id ordering, to
+// a single-node search over the same corpus — returned in ascending
+// global id order. Merged stats sum the per-shard counters; phase times
+// are the slowest shard's (phases overlap in wall-clock).
+func (s *ShardedDB) Search(q *core.Sequence, eps float64) ([]core.Match, core.SearchStats, error) {
+	matches, st, _, err := s.SearchShards(q, eps)
+	return matches, st, err
+}
+
+// SearchParallel satisfies the single-node signature. The cross-shard
+// scatter already supplies the parallelism (bounded by workers when > 0),
+// so each shard runs its serial search; results equal Search exactly.
+func (s *ShardedDB) SearchParallel(q *core.Sequence, eps float64, workers int) ([]core.Match, core.SearchStats, error) {
+	matches, st, _, err := s.scatterSearch(q, eps, workers)
+	return matches, st, err
+}
+
+// SearchShards is Search plus the per-shard statistics.
+func (s *ShardedDB) SearchShards(q *core.Sequence, eps float64) ([]core.Match, core.SearchStats, []ShardStats, error) {
+	return s.scatterSearch(q, eps, 0)
+}
+
+func (s *ShardedDB) scatterSearch(q *core.Sequence, eps float64, workers int) ([]core.Match, core.SearchStats, []ShardStats, error) {
+	n := len(s.shards)
+	if workers <= 0 || workers > n {
+		workers = scatterWorkers(n)
+	}
+	type result struct {
+		matches []core.Match
+		stats   core.SearchStats
+		err     error
+	}
+	results := make([]result, n)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			m, st, err := s.shards[i].Search(q, eps)
+			results[i] = result{matches: m, stats: st, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	var merged core.SearchStats
+	perShard := make([]ShardStats, n)
+	var out []core.Match
+	for i, r := range results {
+		if r.err != nil {
+			return nil, merged, nil, fmt.Errorf("shard: shard %d: %w", i, r.err)
+		}
+		for _, m := range r.matches {
+			m.SeqID = s.globalID(i, m.SeqID)
+			out = append(out, m)
+		}
+		perShard[i] = ShardStats{Shard: i, Stats: r.stats}
+		mergeStats(&merged, r.stats)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].SeqID < out[b].SeqID })
+	return out, merged, perShard, nil
+}
+
+// mergeStats folds one shard's stats into the merged view: counters sum;
+// phase durations take the max, since the shards run the phases
+// concurrently and the slowest bounds the wall-clock. QueryMBRs is the
+// same on every shard (same query, same partitioning), so it is kept, not
+// summed.
+func mergeStats(dst *core.SearchStats, st core.SearchStats) {
+	dst.QueryMBRs = st.QueryMBRs
+	dst.TotalSequences += st.TotalSequences
+	dst.CandidatesDmbr += st.CandidatesDmbr
+	dst.MatchesDnorm += st.MatchesDnorm
+	dst.IndexEntriesHit += st.IndexEntriesHit
+	dst.DnormEvals += st.DnormEvals
+	if st.Phase1 > dst.Phase1 {
+		dst.Phase1 = st.Phase1
+	}
+	if st.Phase2 > dst.Phase2 {
+		dst.Phase2 = st.Phase2
+	}
+	if st.Phase3 > dst.Phase3 {
+		dst.Phase3 = st.Phase3
+	}
+}
+
+// CandidatesDmbr returns the union of the per-shard phase-2 candidate
+// sets, keyed by global id.
+func (s *ShardedDB) CandidatesDmbr(q *core.Sequence, eps float64) (map[uint32]bool, error) {
+	out := make(map[uint32]bool)
+	for i, db := range s.shards {
+		c, err := db.CandidatesDmbr(q, eps)
+		if err != nil {
+			return nil, fmt.Errorf("shard: shard %d: %w", i, err)
+		}
+		for local := range c {
+			out[s.globalID(i, local)] = true
+		}
+	}
+	return out, nil
+}
+
+// SequentialSearch runs the exact scan baseline on every shard
+// concurrently and merges by ascending global id.
+func (s *ShardedDB) SequentialSearch(q *core.Sequence, eps float64) ([]core.ScanResult, error) {
+	n := len(s.shards)
+	results := make([][]core.ScanResult, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, scatterWorkers(n))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = s.shards[i].SequentialSearch(q, eps)
+		}(i)
+	}
+	wg.Wait()
+	var out []core.ScanResult
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("shard: shard %d: %w", i, errs[i])
+		}
+		for _, r := range results[i] {
+			r.SeqID = s.globalID(i, r.SeqID)
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].SeqID < out[b].SeqID })
+	return out, nil
+}
+
+// Explain runs the per-sequence decision record on every shard and merges
+// the candidates under global ids, sorted ascending.
+func (s *ShardedDB) Explain(q *core.Sequence, eps float64) (*core.Explanation, error) {
+	var merged *core.Explanation
+	for i, db := range s.shards {
+		ex, err := db.Explain(q, eps)
+		if err != nil {
+			return nil, fmt.Errorf("shard: shard %d: %w", i, err)
+		}
+		if merged == nil {
+			merged = &core.Explanation{Eps: ex.Eps, QueryMBRs: ex.QueryMBRs}
+		}
+		for _, c := range ex.Candidates {
+			c.SeqID = s.globalID(i, c.SeqID)
+			merged.Candidates = append(merged.Candidates, c)
+		}
+	}
+	sort.Slice(merged.Candidates, func(a, b int) bool {
+		return merged.Candidates[a].SeqID < merged.Candidates[b].SeqID
+	})
+	return merged, nil
+}

@@ -1,0 +1,289 @@
+// Package shard scales the single-node sequence database horizontally:
+// a ShardedDB hash-partitions sequences over N independent core.Database
+// instances — each with its own R*-tree, pager, and lock — and answers
+// queries by scattering the paper's filter-and-refine pipeline across
+// shards and gathering the per-shard results.
+//
+// Placement is by label: shard(S) = FNV-1a(S.Label) mod N. The rule is a
+// pure function of the label and the shard count, so it is stable across
+// restarts — reloading a saved corpus into a ShardedDB with the same N
+// reproduces the placement exactly, and a router in front of several
+// processes can compute it independently.
+//
+// Correctness is inherited, not re-proved: every shard runs the unmodified
+// single-node algorithm over a disjoint subset of the corpus, and a range
+// query's answer set is the union of the per-shard answer sets (Lemmas 1–3
+// apply within each shard; no cross-shard pruning decision is ever made).
+// kNN gathers per-shard top-k lists and merges to the global top k,
+// optionally seeding later-starting shards with the running k-th distance
+// as a tighter refinement bound (see SearchKNN).
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// ErrNoShards is returned when a ShardedDB is created with fewer than one
+// shard.
+var ErrNoShards = errors.New("shard: shard count must be >= 1")
+
+// ShardedDB presents N independent single-node databases as one. All
+// methods are safe for concurrent use; writes to different shards never
+// contend on a lock.
+type ShardedDB struct {
+	shards []*core.Database
+	opts   core.Options
+}
+
+// New creates a ShardedDB of n empty shards, each configured with opts.
+// With opts.Path set, shard i stores its index pages in
+// "<path>.shard<i>" (a single shard uses the path verbatim, so a 1-shard
+// database is file-compatible with core.NewDatabase).
+func New(opts core.Options, n int) (*ShardedDB, error) {
+	if n < 1 {
+		return nil, ErrNoShards
+	}
+	s := &ShardedDB{shards: make([]*core.Database, n), opts: opts}
+	for i := range s.shards {
+		so := opts
+		if opts.Path != "" && n > 1 {
+			so.Path = fmt.Sprintf("%s.shard%d", opts.Path, i)
+		}
+		db, err := core.NewDatabase(so)
+		if err != nil {
+			for _, d := range s.shards[:i] {
+				d.Close()
+			}
+			return nil, fmt.Errorf("shard: opening shard %d: %w", i, err)
+		}
+		s.shards[i] = db
+	}
+	return s, nil
+}
+
+// ShardFor returns the shard index the placement rule assigns to label.
+func ShardFor(label string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(label))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Shards returns the number of shards.
+func (s *ShardedDB) Shards() int { return len(s.shards) }
+
+// Shard exposes shard i's underlying database (for stats and tests).
+func (s *ShardedDB) Shard(i int) *core.Database { return s.shards[i] }
+
+// Dim returns the dimensionality every stored sequence must have.
+func (s *ShardedDB) Dim() int { return s.opts.Dim }
+
+// PartitionConfig returns the partitioning settings in force.
+func (s *ShardedDB) PartitionConfig() core.PartitionConfig {
+	return s.shards[0].PartitionConfig()
+}
+
+// --- id mapping ---------------------------------------------------------
+//
+// Each shard assigns its own dense local ids; the public id interleaves
+// them as global = local*N + shard. The mapping is a bijection, keeps
+// global ids stable as other shards grow, and makes routing a lookup-free
+// mod/div.
+
+func (s *ShardedDB) globalID(shard int, local uint32) uint32 {
+	return local*uint32(len(s.shards)) + uint32(shard)
+}
+
+// SplitID decomposes a global sequence id into (shard, local id).
+func (s *ShardedDB) SplitID(global uint32) (shard int, local uint32) {
+	n := uint32(len(s.shards))
+	return int(global % n), global / n
+}
+
+// --- writes -------------------------------------------------------------
+
+// Add routes the sequence to its label's shard and returns the global id.
+// As with core.Database.Add, the database keeps a reference to seq.
+func (s *ShardedDB) Add(seq *core.Sequence) (uint32, error) {
+	sh := ShardFor(seq.Label, len(s.shards))
+	local, err := s.shards[sh].Add(seq)
+	if err != nil {
+		return 0, err
+	}
+	seq.ID = s.globalID(sh, local)
+	return seq.ID, nil
+}
+
+// AddAll bulk-loads a corpus: sequences are grouped by placement and each
+// shard ingests its group concurrently (bounded by GOMAXPROCS), hitting
+// the per-shard STR bulk-load path when the shard is empty. Returned
+// global ids are in input order.
+func (s *ShardedDB) AddAll(seqs []*core.Sequence) ([]uint32, error) {
+	if len(seqs) == 0 {
+		return nil, nil
+	}
+	n := len(s.shards)
+	groups := make([][]*core.Sequence, n)
+	positions := make([][]int, n) // positions[sh][j] = input index of groups[sh][j]
+	for i, seq := range seqs {
+		sh := ShardFor(seq.Label, n)
+		groups[sh] = append(groups[sh], seq)
+		positions[sh] = append(positions[sh], i)
+	}
+
+	ids := make([]uint32, len(seqs))
+	errs := make([]error, n)
+	sem := make(chan struct{}, scatterWorkers(n))
+	var wg sync.WaitGroup
+	for sh := 0; sh < n; sh++ {
+		if len(groups[sh]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			locals, err := s.shards[sh].AddAll(groups[sh])
+			if err != nil {
+				errs[sh] = err
+				return
+			}
+			for j, local := range locals {
+				g := s.globalID(sh, local)
+				groups[sh][j].ID = g
+				ids[positions[sh][j]] = g
+			}
+		}(sh)
+	}
+	wg.Wait()
+	for sh, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard: shard %d: %w", sh, err)
+		}
+	}
+	return ids, nil
+}
+
+// Remove deletes the sequence with the given global id.
+func (s *ShardedDB) Remove(global uint32) error {
+	sh, local := s.SplitID(global)
+	if err := s.shards[sh].Remove(local); err != nil {
+		if errors.Is(err, core.ErrUnknownSequence) {
+			return fmt.Errorf("%w: %d", core.ErrUnknownSequence, global)
+		}
+		return err
+	}
+	return nil
+}
+
+// AppendPoints extends the sequence with the given global id (streaming
+// ingestion; see core.Database.AppendPoints).
+func (s *ShardedDB) AppendPoints(global uint32, pts []geom.Point) error {
+	sh, local := s.SplitID(global)
+	if err := s.shards[sh].AppendPoints(local, pts); err != nil {
+		if errors.Is(err, core.ErrUnknownSequence) {
+			return fmt.Errorf("%w: %d", core.ErrUnknownSequence, global)
+		}
+		return err
+	}
+	return nil
+}
+
+// --- reads --------------------------------------------------------------
+
+// Segmented returns the stored (sequence, partitioning) pair for a global
+// id, or nil when the id is unknown.
+func (s *ShardedDB) Segmented(global uint32) *core.Segmented {
+	sh, local := s.SplitID(global)
+	return s.shards[sh].Segmented(local)
+}
+
+// Sequences returns the live sequences, ordered by shard then local id.
+// Their ID fields hold global ids.
+func (s *ShardedDB) Sequences() []*core.Sequence {
+	var out []*core.Sequence
+	for _, db := range s.shards {
+		out = append(out, db.Sequences()...)
+	}
+	return out
+}
+
+// Len returns the number of stored sequences across all shards.
+func (s *ShardedDB) Len() int {
+	total := 0
+	for _, db := range s.shards {
+		total += db.Len()
+	}
+	return total
+}
+
+// NumMBRs returns the total number of indexed partition MBRs.
+func (s *ShardedDB) NumMBRs() int {
+	total := 0
+	for _, db := range s.shards {
+		total += db.NumMBRs()
+	}
+	return total
+}
+
+// ShardLens returns each shard's live sequence count — the placement
+// balance observable.
+func (s *ShardedDB) ShardLens() []int {
+	out := make([]int, len(s.shards))
+	for i, db := range s.shards {
+		out[i] = db.Len()
+	}
+	return out
+}
+
+// IndexHeight returns the tallest per-shard R*-tree height.
+func (s *ShardedDB) IndexHeight() int {
+	max := 0
+	for _, db := range s.shards {
+		if h := db.IndexHeight(); h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+// IndexFanout returns the R*-tree node capacity in force (identical on
+// every shard — they share one configuration).
+func (s *ShardedDB) IndexFanout() int { return s.shards[0].IndexFanout() }
+
+// Flush persists every shard's dirty index pages.
+func (s *ShardedDB) Flush() error {
+	for i, db := range s.shards {
+		if err := db.Flush(); err != nil {
+			return fmt.Errorf("shard: flushing shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close releases every shard's index storage, returning the first error.
+func (s *ShardedDB) Close() error {
+	var first error
+	for i, db := range s.shards {
+		if err := db.Close(); err != nil && first == nil {
+			first = fmt.Errorf("shard: closing shard %d: %w", i, err)
+		}
+	}
+	return first
+}
+
+// scatterWorkers bounds fan-out concurrency: one goroutine per shard, but
+// never more than the machine can run.
+func scatterWorkers(n int) int {
+	if p := runtime.GOMAXPROCS(0); n > p {
+		return p
+	}
+	return n
+}

@@ -1,0 +1,160 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// Sharded store layout: a shard-count record plus one single-node store
+// directory per shard (empty shards keep only their meta file):
+//
+//	dir/
+//	  shards.bin     "MDSSHRD1" + u16 shard count
+//	  shard000/      meta.bin [+ sequences.mds]
+//	  shard001/
+//	  ...
+//	  index.db.shard<i>   per-shard index pages (fileIndex loads only)
+//
+// Placement is not serialized: it is recomputed on load from the stable
+// label-hash rule, which reproduces the saved placement exactly for the
+// same shard count (asserted by TestShardedSaveLoadPlacement).
+const (
+	shardsFile     = "shards.bin"
+	shardsMagic    = "MDSSHRD1"
+	shardsMetaLen  = 8 + 2 // magic + count
+	maxShardCount  = 1 << 12
+	shardDirFormat = "shard%03d"
+)
+
+// IsSharded reports whether dir holds a sharded store.
+func IsSharded(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, shardsFile))
+	return err == nil
+}
+
+// SaveSharded writes db's live sequences, configuration, and shard
+// topology into dir (created if needed, contents overwritten). Individual
+// shards may be empty; the database as a whole must not be.
+func SaveSharded(db *shard.ShardedDB, dir string) error {
+	if db.Len() == 0 {
+		return errors.New("store: refusing to save an empty database")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	n := db.Shards()
+	dim, cfg := db.Dim(), db.PartitionConfig()
+	for i := 0; i < n; i++ {
+		sub := filepath.Join(dir, fmt.Sprintf(shardDirFormat, i))
+		if err := saveDir(sub, dim, cfg, db.Shard(i).Sequences()); err != nil {
+			return fmt.Errorf("store: saving shard %d: %w", i, err)
+		}
+	}
+	meta := make([]byte, shardsMetaLen)
+	copy(meta[0:8], shardsMagic)
+	binary.LittleEndian.PutUint16(meta[8:10], uint16(n))
+	return os.WriteFile(filepath.Join(dir, shardsFile), meta, 0o644)
+}
+
+// readShardCount parses dir's shard-count record.
+func readShardCount(dir string) (int, error) {
+	meta, err := os.ReadFile(filepath.Join(dir, shardsFile))
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadStore, err)
+	}
+	if len(meta) != shardsMetaLen || string(meta[0:8]) != shardsMagic {
+		return 0, fmt.Errorf("%w: bad shards file", ErrBadStore)
+	}
+	n := int(binary.LittleEndian.Uint16(meta[8:10]))
+	if n < 1 || n > maxShardCount {
+		return 0, fmt.Errorf("%w: shard count %d", ErrBadStore, n)
+	}
+	return n, nil
+}
+
+// LoadSharded reads a store directory and rebuilds a sharded database. A
+// plain single-node store (written by Save) loads as one shard, so old
+// directories keep working. With fileIndex set, each shard's index pages
+// live in a file under its shard directory; otherwise indexes are in
+// memory. Sequences re-place by the label-hash rule, which reproduces
+// the saved placement for an unchanged shard count.
+func LoadSharded(dir string, fileIndex bool) (*shard.ShardedDB, error) {
+	if !IsSharded(dir) {
+		// Single-dir compatibility: the whole store becomes shard 0.
+		dim, cfg, seqs, err := loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(seqs) == 0 {
+			return nil, fmt.Errorf("%w: no sequences", ErrBadStore)
+		}
+		opts := core.Options{Dim: dim, Partition: cfg}
+		if fileIndex {
+			opts.Path = filepath.Join(dir, indexFile)
+			os.RemoveAll(opts.Path)
+			os.Remove(opts.Path + ".wal")
+		}
+		return buildSharded(opts, 1, seqs, fileIndex)
+	}
+
+	n, err := readShardCount(dir)
+	if err != nil {
+		return nil, err
+	}
+	var all []*core.Sequence
+	dim, cfg := 0, core.PartitionConfig{}
+	for i := 0; i < n; i++ {
+		sub := filepath.Join(dir, fmt.Sprintf(shardDirFormat, i))
+		d, c, seqs, err := loadDir(sub)
+		if err != nil {
+			return nil, fmt.Errorf("store: loading shard %d: %w", i, err)
+		}
+		if i == 0 {
+			dim, cfg = d, c
+		} else if d != dim || c != cfg {
+			return nil, fmt.Errorf("%w: shard %d config differs from shard 0", ErrBadStore, i)
+		}
+		all = append(all, seqs...)
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("%w: no sequences", ErrBadStore)
+	}
+	opts := core.Options{Dim: dim, Partition: cfg}
+	if fileIndex {
+		// shard.New derives "<path>.shard<i>" per shard.
+		opts.Path = filepath.Join(dir, indexFile)
+		for i := 0; i < n; i++ {
+			path := opts.Path
+			if n > 1 {
+				path = fmt.Sprintf("%s.shard%d", opts.Path, i)
+			}
+			os.RemoveAll(path)
+			os.Remove(path + ".wal")
+		}
+	}
+	return buildSharded(opts, n, all, fileIndex)
+}
+
+func buildSharded(opts core.Options, n int, seqs []*core.Sequence, fileIndex bool) (*shard.ShardedDB, error) {
+	sdb, err := shard.New(opts, n)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sdb.AddAll(seqs); err != nil {
+		sdb.Close()
+		return nil, err
+	}
+	if fileIndex {
+		if err := sdb.Flush(); err != nil {
+			sdb.Close()
+			return nil, err
+		}
+	}
+	return sdb, nil
+}

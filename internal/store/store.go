@@ -33,50 +33,95 @@ const (
 // ErrBadStore indicates a missing or corrupt store directory.
 var ErrBadStore = errors.New("store: bad store directory")
 
-// Save writes db's live sequences and configuration into dir (created if
-// needed, contents overwritten).
-func Save(db *core.Database, dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	seqs := db.Sequences()
-	if len(seqs) == 0 {
-		return errors.New("store: refusing to save an empty database")
-	}
-	if err := seqio.WriteFile(filepath.Join(dir, seqFile), seqs); err != nil {
-		return err
-	}
-	cfg := db.PartitionConfig()
+// writeMeta records dimensionality and partitioning config in dir.
+func writeMeta(dir string, dim int, cfg core.PartitionConfig) error {
 	meta := make([]byte, metaLen)
 	copy(meta[0:8], metaMagic)
-	binary.LittleEndian.PutUint16(meta[8:10], uint16(seqs[0].Dim()))
+	binary.LittleEndian.PutUint16(meta[8:10], uint16(dim))
 	binary.LittleEndian.PutUint64(meta[10:18], math.Float64bits(cfg.QueryExtent))
 	binary.LittleEndian.PutUint64(meta[18:26], uint64(cfg.MaxPoints))
 	return os.WriteFile(filepath.Join(dir, metaFile), meta, 0o644)
 }
 
-// Load reads a store directory and rebuilds the database. With fileIndex
-// set, the index pages live in <dir>/index.db (recreated); otherwise the
-// index is in memory.
-func Load(dir string, fileIndex bool) (*core.Database, error) {
+// readMeta parses dir's metadata record.
+func readMeta(dir string) (dim int, cfg core.PartitionConfig, err error) {
 	meta, err := os.ReadFile(filepath.Join(dir, metaFile))
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadStore, err)
+		return 0, cfg, fmt.Errorf("%w: %v", ErrBadStore, err)
 	}
 	if len(meta) != metaLen || string(meta[0:8]) != metaMagic {
-		return nil, fmt.Errorf("%w: bad meta file", ErrBadStore)
+		return 0, cfg, fmt.Errorf("%w: bad meta file", ErrBadStore)
 	}
-	dim := int(binary.LittleEndian.Uint16(meta[8:10]))
+	dim = int(binary.LittleEndian.Uint16(meta[8:10]))
 	if dim < 1 || dim > maxMetaDims {
-		return nil, fmt.Errorf("%w: dim %d", ErrBadStore, dim)
+		return 0, cfg, fmt.Errorf("%w: dim %d", ErrBadStore, dim)
 	}
-	cfg := core.PartitionConfig{
+	cfg = core.PartitionConfig{
 		QueryExtent: math.Float64frombits(binary.LittleEndian.Uint64(meta[10:18])),
 		MaxPoints:   int(binary.LittleEndian.Uint64(meta[18:26])),
 	}
-	seqs, err := seqio.ReadFile(filepath.Join(dir, seqFile))
+	return dim, cfg, nil
+}
+
+// saveDir writes one database directory: meta plus sequences. Empty
+// sequence sets are allowed (a sharded store's shard may be empty); the
+// sequences file is then omitted and loadDir treats its absence as empty.
+func saveDir(dir string, dim int, cfg core.PartitionConfig, seqs []*core.Sequence) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if len(seqs) == 0 {
+		os.Remove(filepath.Join(dir, seqFile))
+	} else if err := seqio.WriteFile(filepath.Join(dir, seqFile), seqs); err != nil {
+		return err
+	}
+	return writeMeta(dir, dim, cfg)
+}
+
+// loadDir reads one database directory written by saveDir.
+func loadDir(dir string) (dim int, cfg core.PartitionConfig, seqs []*core.Sequence, err error) {
+	dim, cfg, err = readMeta(dir)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadStore, err)
+		return 0, cfg, nil, err
+	}
+	path := filepath.Join(dir, seqFile)
+	if _, statErr := os.Stat(path); statErr != nil {
+		if os.IsNotExist(statErr) {
+			return dim, cfg, nil, nil // empty shard
+		}
+		return 0, cfg, nil, fmt.Errorf("%w: %v", ErrBadStore, statErr)
+	}
+	seqs, err = seqio.ReadFile(path)
+	if err != nil {
+		return 0, cfg, nil, fmt.Errorf("%w: %v", ErrBadStore, err)
+	}
+	return dim, cfg, seqs, nil
+}
+
+// Save writes db's live sequences and configuration into dir (created if
+// needed, contents overwritten).
+func Save(db *core.Database, dir string) error {
+	seqs := db.Sequences()
+	if len(seqs) == 0 {
+		return errors.New("store: refusing to save an empty database")
+	}
+	return saveDir(dir, seqs[0].Dim(), db.PartitionConfig(), seqs)
+}
+
+// Load reads a store directory and rebuilds the database. With fileIndex
+// set, the index pages live in <dir>/index.db (recreated); otherwise the
+// index is in memory. Sharded stores (written by SaveSharded) are
+// rejected with a pointer to LoadSharded.
+func Load(dir string, fileIndex bool) (*core.Database, error) {
+	if IsSharded(dir) {
+		return nil, fmt.Errorf("%w: %s is a sharded store; use LoadSharded", ErrBadStore, dir)
+	}
+	dim, cfg, seqs, err := loadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("%w: no sequences", ErrBadStore)
 	}
 
 	opts := core.Options{Dim: dim, Partition: cfg}

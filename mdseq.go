@@ -31,6 +31,7 @@ package mdseq
 import (
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/shard"
 	"repro/internal/store"
 )
 
@@ -161,3 +162,39 @@ func Save(db *DB, dir string) error { return store.Save(db, dir) }
 // Load restores a database saved with Save, rebuilding its index (in
 // <dir>/index.db when fileIndex is set, in memory otherwise).
 func Load(dir string, fileIndex bool) (*DB, error) { return store.Load(dir, fileIndex) }
+
+// --- sharding -----------------------------------------------------------
+
+// ShardedDB hash-partitions sequences by label over N independent
+// single-node databases — each with its own R*-tree, pager, and lock —
+// and answers queries by scatter-gather: every shard runs the unmodified
+// three-phase algorithm on its disjoint slice of the corpus, so the
+// no-false-dismissal guarantees carry over shard-locally and the merged
+// answer set equals the single-node one.
+type ShardedDB = shard.ShardedDB
+
+// Store is the database surface shared by *DB and *ShardedDB: writes,
+// range search, kNN, explain, and stats. Serving layers program against
+// it so topology stays a deployment choice.
+type Store = shard.DB
+
+// ShardStats pairs a shard index with its local search statistics.
+type ShardStats = shard.ShardStats
+
+// OpenSharded creates a database of n hash shards, each configured with
+// opts (with Options.Path set, shard i uses "<path>.shard<i>").
+func OpenSharded(opts Options, n int) (*ShardedDB, error) { return shard.New(opts, n) }
+
+// ShardFor returns the shard index the stable label-hash placement rule
+// assigns to label among n shards.
+func ShardFor(label string, n int) int { return shard.ShardFor(label, n) }
+
+// SaveSharded persists a sharded database (one subdirectory per shard
+// plus a shard-count record) into a directory LoadSharded can restore.
+func SaveSharded(db *ShardedDB, dir string) error { return store.SaveSharded(db, dir) }
+
+// LoadSharded restores a database saved with SaveSharded, preserving the
+// shard count and placement. A plain Save directory loads as one shard.
+func LoadSharded(dir string, fileIndex bool) (*ShardedDB, error) {
+	return store.LoadSharded(dir, fileIndex)
+}
