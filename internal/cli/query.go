@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/seqio"
 	"repro/internal/shard"
 )
@@ -28,6 +29,7 @@ func Query(args []string, stdout io.Writer) error {
 		dtw      = fs.Bool("dtw", false, "re-rank matches by dynamic time warping distance")
 		explain  = fs.Bool("explain", false, "print per-sequence pruning decisions")
 		shards   = fs.Int("shards", 1, "hash-partition the corpus over this many shards (scatter-gather search)")
+		metrics  = fs.Bool("metrics", false, "record into a metrics registry and print its Prometheus dump after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +73,11 @@ func Query(args []string, stdout io.Writer) error {
 		return err
 	}
 	defer db.Close()
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		db.SetMetrics(reg)
+	}
 	t0 := time.Now()
 	if _, err := db.AddAll(seqs); err != nil {
 		return err
@@ -87,6 +94,11 @@ func Query(args []string, stdout io.Writer) error {
 		stats.Phase1.Round(time.Microsecond), stats.QueryMBRs,
 		stats.Phase2.Round(time.Microsecond), stats.CandidatesDmbr,
 		stats.Phase3.Round(time.Microsecond), stats.MatchesDnorm)
+	if db.Shards() > 1 {
+		// Wall is per-phase max across shards; CPU sums the per-shard work.
+		fmt.Fprintf(stdout, "scatter: wall %v | cpu %v over %d shards\n",
+			stats.Total().Round(time.Microsecond), stats.CPUTime.Round(time.Microsecond), db.Shards())
+	}
 
 	if *dtw {
 		matches = core.RefineDTW(q, matches, -1)
@@ -141,6 +153,13 @@ func Query(args []string, stdout io.Writer) error {
 			if !inMatches[r.SeqID] {
 				fmt.Fprintf(stdout, "  WARNING: false dismissal of sequence %d (D=%.4f)\n", r.SeqID, r.Dist)
 			}
+		}
+	}
+
+	if reg != nil {
+		fmt.Fprintln(stdout, "\n# metrics (Prometheus text format)")
+		if err := reg.WritePrometheus(stdout); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -54,6 +54,8 @@ func (db *Database) AddAll(seqs []*Sequence) ([]uint32, error) {
 			db.live++
 			ids[i] = id
 		}
+		db.met.RecordBulkAdd(len(seqs))
+		db.met.SetShape(db.live, db.tree.Len())
 		return ids, nil
 	}
 
@@ -97,5 +99,7 @@ func (db *Database) AddAll(seqs []*Sequence) ([]uint32, error) {
 	}
 	db.seqs = segs
 	db.live = len(segs)
+	db.met.RecordBulkAdd(len(seqs))
+	db.met.SetShape(db.live, db.tree.Len())
 	return ids, nil
 }

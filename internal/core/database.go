@@ -44,6 +44,7 @@ type Database struct {
 	tree *rtree.Tree
 	seqs []*Segmented // seqs[id] — ids are dense, assigned by Add; nil = removed
 	live int          // number of non-nil entries in seqs
+	met  *Metrics     // nil until SetMetrics; all methods no-op on nil
 }
 
 // ErrUnknownSequence is returned by Remove for absent or already-removed
@@ -177,6 +178,7 @@ func (db *Database) Close() error {
 // sequence id. The database keeps a reference to s; callers must not
 // mutate it afterwards.
 func (db *Database) Add(s *Sequence) (uint32, error) {
+	t0 := time.Now()
 	if err := s.Validate(); err != nil {
 		return 0, err
 	}
@@ -202,6 +204,8 @@ func (db *Database) Add(s *Sequence) (uint32, error) {
 	}
 	db.seqs = append(db.seqs, g)
 	db.live++
+	db.met.RecordAdd(time.Since(t0))
+	db.met.SetShape(db.live, db.tree.Len())
 	return id, nil
 }
 
@@ -224,6 +228,7 @@ func (db *Database) Remove(id uint32) error {
 	}
 	db.seqs[id] = nil
 	db.live--
+	db.met.SetShape(db.live, db.tree.Len())
 	return nil
 }
 
@@ -320,9 +325,19 @@ type SearchStats struct {
 	Phase1          time.Duration // query partitioning
 	Phase2          time.Duration // index pruning by Dmbr
 	Phase3          time.Duration // Dnorm pruning + interval assembly
+	// CPUTime is the summed duration of every phase execution behind this
+	// stats value. For a single-node search it equals Total(); for a
+	// merged scatter-gather result it sums across shards while Phase1–3
+	// keep the slowest shard's value (phases overlap in wall-clock; see
+	// shard.mergeStats), so CPUTime/Total() reads as the scatter's
+	// effective parallelism.
+	CPUTime time.Duration
 }
 
-// Total returns the end-to-end search duration.
+// Total returns the end-to-end wall-clock search duration. For merged
+// scatter-gather stats each phase is the slowest shard's, so Total is an
+// upper bound on observed wall-clock, not the cross-shard compute sum —
+// that is CPUTime.
 func (st SearchStats) Total() time.Duration { return st.Phase1 + st.Phase2 + st.Phase3 }
 
 // Search runs the paper's SIMILARITY_SEARCH algorithm: partition the query
@@ -395,6 +410,8 @@ func (db *Database) Search(q *Sequence, eps float64) ([]Match, SearchStats, erro
 	}
 	st.MatchesDnorm = len(out)
 	st.Phase3 = time.Since(t2)
+	st.CPUTime = st.Total()
+	db.met.RecordSearch(st)
 	return out, st, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/geom"
 )
@@ -38,6 +39,7 @@ func (db *Database) SearchKNN(q *Sequence, k int) ([]KNNResult, error) {
 // it skips has D > w and cannot re-enter the global top k).
 // bound=+Inf is exactly SearchKNN.
 func (db *Database) SearchKNNBounded(q *Sequence, k int, bound float64) ([]KNNResult, error) {
+	t0 := time.Now()
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -80,6 +82,10 @@ func (db *Database) SearchKNNBounded(q *Sequence, k int, bound float64) ([]KNNRe
 
 	// Refine in bound order; stop when the next lower bound cannot beat
 	// the caller's bound or the current k-th best exact distance.
+	// refined counts exact-distance computations; everything left on the
+	// heap at the break was dismissed by its Dnorm lower bound alone.
+	candidates := h.Len()
+	refined := 0
 	var out []KNNResult
 	worst := bound
 	for h.Len() > 0 {
@@ -89,6 +95,7 @@ func (db *Database) SearchKNNBounded(q *Sequence, k int, bound float64) ([]KNNRe
 		}
 		g := db.seqs[c.id]
 		off, dist := BestAlignment(q.Points, g.Seq.Points)
+		refined++
 		if dist > bound {
 			continue
 		}
@@ -97,6 +104,7 @@ func (db *Database) SearchKNNBounded(q *Sequence, k int, bound float64) ([]KNNRe
 			worst = out[len(out)-1].Dist
 		}
 	}
+	db.met.RecordKNN(time.Since(t0), refined, candidates-refined)
 	return out, nil
 }
 

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics is the pre-resolved set of registry instruments the database
+// hot paths record into. Resolving each counter and histogram once at
+// wiring time keeps the per-query cost to a handful of atomic adds — no
+// map lookups or locks on the search path (overhead measured by
+// BenchmarkSearchInstrumented at the repo root).
+//
+// The instruments mirror the paper's evaluation quantities: the pruning
+// counters are the numerators and denominators of the filter-selectivity
+// ratios of Figures 6–7, and the phase histograms are the latency
+// decomposition of the three-phase SIMILARITY_SEARCH algorithm.
+// DESIGN.md's "Observability" section maps every metric to its paper
+// concept.
+type Metrics struct {
+	searches   *obs.Counter
+	searchSecs *obs.Histogram
+	phaseSecs  [3]*obs.Histogram
+
+	seqsSeen    *obs.Counter
+	candidates  *obs.Counter
+	matches     *obs.Counter
+	prunedDmbr  *obs.Counter
+	prunedDnorm *obs.Counter
+	indexHits   *obs.Counter
+	dnormEvals  *obs.Counter
+
+	knnQueries *obs.Counter
+	knnSecs    *obs.Histogram
+	knnRefined *obs.Counter
+	knnPruned  *obs.Counter
+
+	adds     *obs.Counter
+	addSecs  *obs.Histogram
+	liveSeqs *obs.Gauge
+	liveMBRs *obs.Gauge
+}
+
+// phaseNames label the three phases of the search algorithm in
+// mdseq_search_phase_seconds.
+var phaseNames = [3]string{"partition", "filter", "refine"}
+
+// NewMetrics resolves the database instruments in reg. A nil registry
+// yields a nil *Metrics, and every Metrics method no-ops on a nil
+// receiver, so callers wire metrics with a single assignment and the
+// uninstrumented path stays a pointer test.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	m := &Metrics{
+		searches: reg.Counter("mdseq_search_total",
+			"Range searches served (three-phase SIMILARITY_SEARCH)."),
+		searchSecs: reg.Histogram("mdseq_search_seconds",
+			"End-to-end range-search latency in seconds.", nil),
+		seqsSeen: reg.Counter("mdseq_search_sequences_seen_total",
+			"Corpus sequences considered, summed over searches — the denominator of the pruning ratios."),
+		candidates: reg.Counter("mdseq_search_candidates_dmbr_total",
+			"Sequences surviving the Dmbr index filter (|ASmbr|, Lemma 2)."),
+		matches: reg.Counter("mdseq_search_matches_total",
+			"Sequences surviving the Dnorm filter (|ASnorm|, Lemma 3)."),
+		prunedDmbr: reg.Counter("mdseq_search_pruned_dmbr_total",
+			"Sequences eliminated by the Dmbr index filter without touching their MBR lists."),
+		prunedDnorm: reg.Counter("mdseq_search_candidates_pruned_total",
+			"Dmbr candidates eliminated by the Dnorm filter (Lemma 3) before exact refinement."),
+		indexHits: reg.Counter("mdseq_search_index_entries_total",
+			"R*-tree leaf entries (partition MBRs) visited during phase 2."),
+		dnormEvals: reg.Counter("mdseq_search_dnorm_evals_total",
+			"Dnorm window evaluations performed during phase 3."),
+		knnQueries: reg.Counter("mdseq_knn_total",
+			"k-nearest-sequence queries served."),
+		knnSecs: reg.Histogram("mdseq_knn_seconds",
+			"End-to-end kNN latency in seconds.", nil),
+		knnRefined: reg.Counter("mdseq_knn_refined_total",
+			"Sequences refined with the exact distance D during kNN."),
+		knnPruned: reg.Counter("mdseq_knn_pruned_total",
+			"Sequences dismissed during kNN by the Dnorm lower bound alone."),
+		adds: reg.Counter("mdseq_sequences_added_total",
+			"Sequences ingested (Add, AddAll, streaming loads)."),
+		addSecs: reg.Histogram("mdseq_add_seconds",
+			"Single-sequence ingest latency in seconds (partition + index insert).", nil),
+		liveSeqs: reg.Gauge("mdseq_sequences",
+			"Live (non-removed) sequences currently stored."),
+		liveMBRs: reg.Gauge("mdseq_index_mbrs",
+			"Partition MBRs currently indexed in the R*-tree."),
+	}
+	for i, name := range phaseNames {
+		m.phaseSecs[i] = reg.Histogram("mdseq_search_phase_seconds",
+			"Per-phase search latency in seconds (partition | filter | refine).",
+			nil, obs.Label{Key: "phase", Value: name})
+	}
+	return m
+}
+
+// RecordSearch folds one completed search's statistics into the registry.
+// For a merged scatter-gather result the counters are cross-shard sums
+// and the phase durations the slowest shard's (see shard.mergeStats), so
+// the pruning ratios stay exact and the histograms reflect wall-clock.
+func (m *Metrics) RecordSearch(st SearchStats) {
+	if m == nil {
+		return
+	}
+	m.searches.Inc()
+	m.searchSecs.ObserveDuration(st.Total())
+	m.phaseSecs[0].ObserveDuration(st.Phase1)
+	m.phaseSecs[1].ObserveDuration(st.Phase2)
+	m.phaseSecs[2].ObserveDuration(st.Phase3)
+	m.seqsSeen.Add(uint64(st.TotalSequences))
+	m.candidates.Add(uint64(st.CandidatesDmbr))
+	m.matches.Add(uint64(st.MatchesDnorm))
+	if d := st.TotalSequences - st.CandidatesDmbr; d > 0 {
+		m.prunedDmbr.Add(uint64(d))
+	}
+	if d := st.CandidatesDmbr - st.MatchesDnorm; d > 0 {
+		m.prunedDnorm.Add(uint64(d))
+	}
+	m.indexHits.Add(uint64(st.IndexEntriesHit))
+	m.dnormEvals.Add(uint64(st.DnormEvals))
+}
+
+// RecordKNN folds one completed kNN query into the registry: its
+// end-to-end latency plus how many candidates needed the exact distance
+// (refined) versus how many the Dnorm lower bound dismissed outright
+// (pruned) — the kNN analogue of the paper's filter selectivity.
+func (m *Metrics) RecordKNN(d time.Duration, refined, pruned int) {
+	if m == nil {
+		return
+	}
+	m.knnQueries.Inc()
+	m.knnSecs.ObserveDuration(d)
+	m.knnRefined.Add(uint64(refined))
+	m.knnPruned.Add(uint64(pruned))
+}
+
+// RecordAdd folds one single-sequence ingest into the registry.
+func (m *Metrics) RecordAdd(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.adds.Inc()
+	m.addSecs.ObserveDuration(d)
+}
+
+// RecordBulkAdd counts a batch ingest without per-sequence latency.
+func (m *Metrics) RecordBulkAdd(n int) {
+	if m == nil {
+		return
+	}
+	m.adds.Add(uint64(n))
+}
+
+// SetShape publishes the current corpus size and index size gauges.
+func (m *Metrics) SetShape(sequences, mbrs int) {
+	if m == nil {
+		return
+	}
+	m.liveSeqs.Set(float64(sequences))
+	m.liveMBRs.Set(float64(mbrs))
+}
+
+// ShardLabel builds the {shard="i"} label used by per-shard series.
+func ShardLabel(i int) obs.Label {
+	return obs.Label{Key: "shard", Value: strconv.Itoa(i)}
+}
+
+// SetMetrics wires the database to record into reg (nil detaches). Safe
+// to call at any time, including on a database already serving traffic;
+// past activity is not backfilled. The shape gauges are seeded
+// immediately.
+func (db *Database) SetMetrics(reg *obs.Registry) {
+	m := NewMetrics(reg)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.met = m
+	if db.pg != nil {
+		m.SetShape(db.live, db.tree.Len())
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+// metricsTestDB builds a small instrumented database of random-walk
+// sequences.
+func metricsTestDB(t *testing.T, reg *obs.Registry, n int) (*Database, *Sequence) {
+	t.Helper()
+	db, err := NewDatabase(Options{Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	db.SetMetrics(reg)
+	rng := rand.New(rand.NewSource(42))
+	walk := func(m int) []geom.Point {
+		pts := make([]geom.Point, m)
+		x, y := rng.Float64(), rng.Float64()
+		for i := range pts {
+			x += (rng.Float64() - 0.5) * 0.05
+			y += (rng.Float64() - 0.5) * 0.05
+			pts[i] = geom.Point{clamp01(x), clamp01(y)}
+		}
+		return pts
+	}
+	var first *Sequence
+	for i := 0; i < n; i++ {
+		s, err := NewSequence("s", walk(80))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = s
+		}
+		if _, err := db.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, first
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// TestSearchRecordsMetrics checks that one instrumented search advances
+// the counters consistently with its own SearchStats, and that CPUTime
+// equals Total for the single-node path.
+func TestSearchRecordsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	db, first := metricsTestDB(t, reg, 12)
+
+	q := &Sequence{Label: "q", Points: first.Points[:20]}
+	_, st, err := db.Search(q, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CPUTime != st.Total() {
+		t.Fatalf("single-node CPUTime %v != Total %v", st.CPUTime, st.Total())
+	}
+	if got := reg.Counter("mdseq_search_total", "").Value(); got != 1 {
+		t.Fatalf("mdseq_search_total = %d, want 1", got)
+	}
+	if got := reg.Counter("mdseq_search_candidates_dmbr_total", "").Value(); got != uint64(st.CandidatesDmbr) {
+		t.Fatalf("candidates counter = %d, stats say %d", got, st.CandidatesDmbr)
+	}
+	if got := reg.Counter("mdseq_search_candidates_pruned_total", "").Value(); got != uint64(st.CandidatesDmbr-st.MatchesDnorm) {
+		t.Fatalf("pruned counter = %d, stats say %d", got, st.CandidatesDmbr-st.MatchesDnorm)
+	}
+	if got := reg.Histogram("mdseq_search_seconds", "", nil).Count(); got != 1 {
+		t.Fatalf("latency histogram count = %d, want 1", got)
+	}
+	for _, phase := range []string{"partition", "filter", "refine"} {
+		h := reg.Histogram("mdseq_search_phase_seconds", "", nil, obs.Label{Key: "phase", Value: phase})
+		if h.Count() != 1 {
+			t.Fatalf("phase %q histogram count = %d, want 1", phase, h.Count())
+		}
+	}
+	// Adds were recorded, and the shape gauges track the live corpus.
+	if got := reg.Counter("mdseq_sequences_added_total", "").Value(); got != 12 {
+		t.Fatalf("added_total = %d, want 12", got)
+	}
+	if got := reg.Gauge("mdseq_sequences", "").Value(); got != 12 {
+		t.Fatalf("sequences gauge = %g, want 12", got)
+	}
+	if got := reg.Gauge("mdseq_index_mbrs", "").Value(); int(got) != db.NumMBRs() {
+		t.Fatalf("mbrs gauge = %g, index holds %d", got, db.NumMBRs())
+	}
+}
+
+// TestKNNRecordsMetrics checks the kNN filter-effectiveness counters:
+// refined + pruned must equal the live corpus size.
+func TestKNNRecordsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	db, first := metricsTestDB(t, reg, 10)
+	q := &Sequence{Label: "q", Points: first.Points[:20]}
+	if _, err := db.SearchKNN(q, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("mdseq_knn_total", "").Value(); got != 1 {
+		t.Fatalf("knn_total = %d, want 1", got)
+	}
+	refined := reg.Counter("mdseq_knn_refined_total", "").Value()
+	pruned := reg.Counter("mdseq_knn_pruned_total", "").Value()
+	if refined+pruned != 10 {
+		t.Fatalf("refined %d + pruned %d != corpus 10", refined, pruned)
+	}
+	if refined < 3 {
+		t.Fatalf("refined %d < k=3 — the top k must be exact", refined)
+	}
+}
+
+// TestUninstrumentedDatabaseStillWorks pins the nil-receiver contract:
+// without SetMetrics every path runs unchanged.
+func TestUninstrumentedDatabaseStillWorks(t *testing.T) {
+	db, first := metricsTestDB(t, nil, 5)
+	q := &Sequence{Label: "q", Points: first.Points[:20]}
+	if _, _, err := db.Search(q, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SearchKNN(q, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsExpositionContainsFamilies smoke-tests the full pipeline:
+// instrumented activity renders into Prometheus text format.
+func TestMetricsExpositionContainsFamilies(t *testing.T) {
+	reg := obs.NewRegistry()
+	db, first := metricsTestDB(t, reg, 6)
+	q := &Sequence{Label: "q", Points: first.Points[:20]}
+	if _, _, err := db.Search(q, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, fam := range []string{
+		"# TYPE mdseq_search_total counter",
+		"# TYPE mdseq_search_seconds histogram",
+		`mdseq_search_phase_seconds_bucket{phase="filter",le="+Inf"}`,
+		"# TYPE mdseq_sequences gauge",
+	} {
+		if !strings.Contains(out, fam) {
+			t.Fatalf("exposition missing %q:\n%s", fam, out)
+		}
+	}
+}

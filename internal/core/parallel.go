@@ -106,5 +106,7 @@ func (db *Database) SearchParallel(q *Sequence, eps float64, workers int) ([]Mat
 	}
 	st.MatchesDnorm = len(out)
 	st.Phase3 = time.Since(t2)
+	st.CPUTime = st.Total()
+	db.met.RecordSearch(st)
 	return out, st, nil
 }

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+)
+
+// MetricsHandler serves reg in Prometheus text exposition format — mount
+// it at GET /metrics.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+}
+
+// statusWriter captures the status code and body size a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// Middleware instruments an HTTP handler: every request gets a Trace (and
+// an X-Request-ID response header) in its context, a per-request
+// structured log line (request ID, method, path, status, bytes,
+// duration), and, when reg is non-nil, http request counters and a
+// latency histogram labeled by method and status code. logger may be nil
+// to disable logging; reg may be nil to disable metrics.
+func Middleware(reg *Registry, logger *slog.Logger, next http.Handler) http.Handler {
+	var inflight *Gauge
+	if reg != nil {
+		inflight = reg.Gauge("mdseq_http_inflight_requests",
+			"HTTP requests currently being served.")
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := NewTrace()
+		w.Header().Set("X-Request-ID", tr.ID)
+		sw := &statusWriter{ResponseWriter: w}
+		if inflight != nil {
+			inflight.Add(1)
+			defer inflight.Add(-1)
+		}
+		next.ServeHTTP(sw, r.WithContext(WithTrace(r.Context(), tr)))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		dur := tr.Age()
+		if reg != nil {
+			labels := []Label{
+				{Key: "method", Value: r.Method},
+				{Key: "code", Value: strconv.Itoa(sw.status)},
+			}
+			reg.Counter("mdseq_http_requests_total",
+				"HTTP requests served, by method and status code.", labels...).Inc()
+			reg.Histogram("mdseq_http_request_seconds",
+				"HTTP request latency in seconds, by method and status code.", nil, labels...).
+				ObserveDuration(dur)
+		}
+		if logger != nil {
+			logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("requestID", tr.ID),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Int("bytes", sw.bytes),
+				slog.Duration("duration", dur),
+			)
+		}
+	})
+}

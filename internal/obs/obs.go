@@ -1,0 +1,28 @@
+// Package obs is the observability substrate for mdseq: a stdlib-only
+// metrics registry (atomic counters, gauges, and fixed-bucket latency
+// histograms with a Prometheus text-exposition encoder) plus lightweight
+// per-request tracing (request IDs and named span timings propagated via
+// context.Context).
+//
+// The paper's value proposition is pruning effectiveness — how few
+// sequences survive the Dmbr and Dnorm filters (Lemmas 1–3) and reach the
+// exact refinement — so the layer exists to make filter selectivity and
+// phase latency continuously visible, not just per call via
+// core.SearchStats. Every instrument is a fixed-size atomic cell: a
+// counter increment is one atomic add, a histogram observation is two
+// adds plus a CAS loop on the sum, and registration is done once at
+// wiring time so the hot path never touches a map or a lock. That keeps
+// the overhead of instrumenting Search well under the noise floor of the
+// search itself (see BenchmarkSearchInstrumented in the repo root).
+//
+// Typical wiring:
+//
+//	reg := obs.NewRegistry()
+//	db.SetMetrics(reg)                       // core or sharded database
+//	mux.Handle("GET /metrics", obs.MetricsHandler(reg))
+//
+// Metric naming follows Prometheus conventions: counters end in _total,
+// latency histograms in _seconds, and every mdseq metric carries the
+// mdseq_ prefix. DESIGN.md's "Observability" section maps each exported
+// metric to the paper concept it measures.
+package obs

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("t_total", "other help"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("t_gauge", "help")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestCounterLabelsAreSeparateSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("t_total", "h", Label{"shard", "0"})
+	b := r.Counter("t_total", "h", Label{"shard", "1"})
+	if a == b {
+		t.Fatal("distinct label sets shared a series")
+	}
+	a.Inc()
+	if b.Value() != 0 {
+		t.Fatal("increment leaked across label sets")
+	}
+	// Label order must not matter.
+	x := r.Counter("t2_total", "h", Label{"a", "1"}, Label{"b", "2"})
+	y := r.Counter("t2_total", "h", Label{"b", "2"}, Label{"a", "1"})
+	if x != y {
+		t.Fatal("label order created distinct series")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on counter re-registered as gauge")
+		}
+	}()
+	r.Gauge("t_total", "h")
+}
+
+// TestHistogramBucketBoundaries pins the le semantics: an observation
+// equal to a bound lands in that bound's bucket (le = "less or equal"),
+// and anything above the last bound lands only in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_seconds", "h", []float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.1, 0.10001, 0.5, 0.9, 1, 99} {
+		h.Observe(v)
+	}
+	// Cumulative: le=0.1 -> {0.05, 0.1}; le=0.5 -> +{0.10001, 0.5};
+	// le=1 -> +{0.9, 1}; +Inf -> +{99}.
+	want := []uint64{2, 4, 6, 7}
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if diff := math.Abs(h.Sum() - (0.05 + 0.1 + 0.10001 + 0.5 + 0.9 + 1 + 99)); diff > 1e-9 {
+		t.Fatalf("sum off by %g", diff)
+	}
+}
+
+// TestConcurrentInstruments hammers one counter, gauge, and histogram
+// from many goroutines; run under -race this is the data-race proof, and
+// the final counts prove no increment was lost.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Registration from multiple goroutines must also be safe.
+			c := r.Counter("c_total", "h")
+			g := r.Gauge("g", "h")
+			h := r.Histogram("h_seconds", "h", nil)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%10) / 1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "h").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("g", "h").Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %g, want %d", got, workers*perWorker)
+	}
+	h := r.Histogram("h_seconds", "h", nil)
+	if h.Count() != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	cum := h.BucketCounts()
+	if cum[len(cum)-1] != workers*perWorker {
+		t.Fatalf("+Inf bucket = %d, want %d", cum[len(cum)-1], workers*perWorker)
+	}
+}
+
+// TestWritePrometheusGolden pins the text exposition format end to end:
+// HELP/TYPE headers, sorted families and series, label escaping,
+// cumulative buckets, _sum and _count.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "b counter", Label{"shard", "1"}).Add(3)
+	r.Counter("b_total", "b counter", Label{"shard", "0"}).Add(2)
+	r.Gauge("a_gauge", "a gauge with \"quotes\"").Set(1.5)
+	h := r.Histogram("c_seconds", "c histogram", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_gauge a gauge with "quotes"
+# TYPE a_gauge gauge
+a_gauge 1.5
+# HELP b_total b counter
+# TYPE b_total counter
+b_total{shard="0"} 2
+b_total{shard="1"} 3
+# HELP c_seconds c histogram
+# TYPE c_seconds histogram
+c_seconds_bucket{le="0.1"} 1
+c_seconds_bucket{le="1"} 2
+c_seconds_bucket{le="+Inf"} 3
+c_seconds_sum 2.55
+c_seconds_count 3
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHistogramLabeledBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("s_seconds", "h", []float64{0.5}, Label{"shard", "0"})
+	h.ObserveDuration(100 * time.Millisecond)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`s_seconds_bucket{shard="0",le="0.5"} 1`,
+		`s_seconds_bucket{shard="0",le="+Inf"} 1`,
+		`s_seconds_sum{shard="0"} 0.1`,
+		`s_seconds_count{shard="0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"log/slog"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is one request's identity and timing record: a process-unique
+// request ID plus named spans (the three search phases, handler sections,
+// anything worth attributing time to). It travels through the handler
+// stack via context.Context and is cheap enough to allocate per request.
+// All methods are safe for concurrent use and safe on a nil receiver, so
+// instrumented code never has to check whether tracing is wired.
+type Trace struct {
+	ID    string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Span is one named timed section of a request.
+type Span struct {
+	Name  string
+	Start time.Duration // offset from trace start
+	Dur   time.Duration
+}
+
+// traceIDs seeds request-ID generation: a random per-process prefix plus
+// a monotonic counter. IDs are unique within and (with high probability)
+// across processes without paying for crypto/rand on every request.
+var (
+	tracePrefix = func() string {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], rand.Uint32())
+		return hex.EncodeToString(b[:])
+	}()
+	traceSeq atomic.Uint64
+)
+
+// NewTrace starts a trace with a fresh request ID.
+func NewTrace() *Trace {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], traceSeq.Add(1))
+	return &Trace{ID: tracePrefix + "-" + hex.EncodeToString(b[2:]), start: time.Now()}
+}
+
+// Age returns the time since the trace started.
+func (t *Trace) Age() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+// StartSpan opens a named span and returns the function that closes it.
+//
+//	done := tr.StartSpan("refine")
+//	defer done()
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	s0 := time.Since(t.start)
+	return func() {
+		d := time.Since(t.start) - s0
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{Name: name, Start: s0, Dur: d})
+		t.mu.Unlock()
+	}
+}
+
+// AddSpan records an already-measured span (e.g. a phase duration lifted
+// from core.SearchStats) ending now.
+func (t *Trace) AddSpan(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	end := time.Since(t.start)
+	start := end - d
+	if start < 0 {
+		start = 0
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: start, Dur: d})
+	t.mu.Unlock()
+}
+
+// Spans returns a snapshot of the recorded spans in recording order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// SlogAttrs renders the trace for structured logging: the request ID plus
+// one duration attribute per span (span durations in milliseconds).
+func (t *Trace) SlogAttrs() []slog.Attr {
+	if t == nil {
+		return nil
+	}
+	attrs := []slog.Attr{slog.String("requestID", t.ID)}
+	for _, s := range t.Spans() {
+		attrs = append(attrs, slog.Float64("span."+s.Name+".ms", float64(s.Dur)/float64(time.Millisecond)))
+	}
+	return attrs
+}
+
+// traceKey is the context key Trace travels under.
+type traceKey struct{}
+
+// WithTrace returns a context carrying t.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil. The nil result is
+// safe to use directly: every Trace method no-ops on nil.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

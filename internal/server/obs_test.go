@@ -1,0 +1,247 @@
+package server
+
+import (
+	"encoding/json"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// syncBuffer is a goroutine-safe log sink for slog handlers.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// seedCorpus adds n random-walk sequences with distinct labels (so a
+// sharded database spreads them) and returns one of them for querying.
+func seedCorpus(t *testing.T, s *Server, n int) [][]float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	var first [][]float64
+	for i := 0; i < n; i++ {
+		pts := walkPoints(rng, 60)
+		if first == nil {
+			first = pts
+		}
+		rec := doJSON(t, s, "POST", "/sequences", SequenceJSON{Label: "seq-" + string(rune('a'+i)), Points: pts})
+		if rec.Code != http.StatusCreated {
+			t.Fatalf("add: %d %s", rec.Code, rec.Body)
+		}
+	}
+	return first
+}
+
+// TestMetricsEndpointReflectsTraffic drives live traffic through an
+// instrumented sharded server and asserts GET /metrics serves valid
+// Prometheus text including search latency histograms, per-phase
+// timings, pruning counters, per-shard fan-out series, and HTTP metrics.
+func TestMetricsEndpointReflectsTraffic(t *testing.T) {
+	reg := obs.NewRegistry()
+	db, err := shard.New(core.Options{Dim: 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	s := New(db, WithMetrics(reg))
+
+	first := seedCorpus(t, s, 8)
+	rec := doJSON(t, s, "POST", "/search", SearchRequest{Points: first[:20], Eps: 0.3})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search: %d %s", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("X-Request-ID") == "" {
+		t.Fatal("search response missing X-Request-ID")
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if doJSON(t, s, "POST", "/knn", KNNRequest{Points: first[:20], K: 2}).Code != http.StatusOK {
+		t.Fatal("knn failed")
+	}
+
+	mrec := doJSON(t, s, "GET", "/metrics", nil)
+	if mrec.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", mrec.Code)
+	}
+	if ct := mrec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	out := mrec.Body.String()
+	for _, want := range []string{
+		"# TYPE mdseq_search_seconds histogram",
+		"mdseq_search_seconds_count 1",
+		`mdseq_search_phase_seconds_count{phase="partition"} 1`,
+		`mdseq_search_phase_seconds_count{phase="filter"} 1`,
+		`mdseq_search_phase_seconds_count{phase="refine"} 1`,
+		"# TYPE mdseq_search_candidates_dmbr_total counter",
+		"# TYPE mdseq_search_candidates_pruned_total counter",
+		`mdseq_shard_search_seconds_count{shard="0"} 1`,
+		`mdseq_shard_search_seconds_count{shard="2"} 1`,
+		"mdseq_shard_straggler_gap_seconds_count 1",
+		"mdseq_knn_total 1",
+		"mdseq_sequences_added_total 8",
+		"mdseq_sequences 8",
+		`mdseq_http_requests_total{code="200",method="POST"}`,
+		"# TYPE mdseq_http_request_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be parseable "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}
+
+// TestSlowQueryLog lowers the threshold to one nanosecond so every query
+// is "slow" and asserts the structured record carries the request ID and
+// the full per-shard stats.
+func TestSlowQueryLog(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	db, err := shard.New(core.Options{Dim: 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	s := New(db, WithLogger(logger), WithSlowQueryThreshold(time.Nanosecond))
+
+	first := seedCorpus(t, s, 6)
+	rec := doJSON(t, s, "POST", "/search", SearchRequest{Points: first[:20], Eps: 0.3})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search: %d %s", rec.Code, rec.Body)
+	}
+	reqID := rec.Header().Get("X-Request-ID")
+	if reqID == "" {
+		t.Fatal("missing X-Request-ID")
+	}
+
+	// Find the slow-query record among the request log lines.
+	var slow map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		if m["msg"] == "slow query" {
+			slow = m
+		}
+	}
+	if slow == nil {
+		t.Fatalf("no slow-query record in log:\n%s", buf.String())
+	}
+	if slow["requestID"] != reqID {
+		t.Fatalf("slow-query requestID %v != response header %q", slow["requestID"], reqID)
+	}
+	if slow["route"] != "search" {
+		t.Fatalf("route = %v", slow["route"])
+	}
+	stats, ok := slow["stats"].(map[string]any)
+	if !ok {
+		t.Fatalf("slow-query record missing stats group: %v", slow)
+	}
+	for _, key := range []string{"totalSequences", "candidatesDmbr", "matchesDnorm", "phase1", "phase2", "phase3", "cpuTime"} {
+		if _, ok := stats[key]; !ok {
+			t.Fatalf("stats group missing %q: %v", key, stats)
+		}
+	}
+	for _, sh := range []string{"shard.0", "shard.1"} {
+		g, ok := slow[sh].(map[string]any)
+		if !ok {
+			t.Fatalf("slow-query record missing per-shard group %q: %v", sh, slow)
+		}
+		if _, ok := g["candidatesDmbr"]; !ok {
+			t.Fatalf("per-shard group %q missing candidatesDmbr: %v", sh, g)
+		}
+	}
+}
+
+// TestSlowQueryLogQuietBelowThreshold checks a fast query does not spam
+// the slow-query log.
+func TestSlowQueryLogQuietBelowThreshold(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	db, err := core.NewDatabase(core.Options{Dim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	s := New(db, WithLogger(logger), WithSlowQueryThreshold(time.Hour))
+	first := seedCorpus(t, s, 3)
+	if rec := doJSON(t, s, "POST", "/search", SearchRequest{Points: first[:20], Eps: 0.3}); rec.Code != http.StatusOK {
+		t.Fatalf("search: %d", rec.Code)
+	}
+	if strings.Contains(buf.String(), "slow query") {
+		t.Fatalf("unexpected slow-query record:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"msg":"request"`) {
+		t.Fatalf("request log line missing:\n%s", buf.String())
+	}
+}
+
+// TestPprofGating: /debug/pprof is 404 without WithPprof and serves the
+// index with it.
+func TestPprofGating(t *testing.T) {
+	db, err := core.NewDatabase(core.Options{Dim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	off := New(db)
+	if rec := doJSON(t, off, "GET", "/debug/pprof/", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("pprof off: got %d, want 404", rec.Code)
+	}
+	on := New(db, WithPprof(true))
+	rec := doJSON(t, on, "GET", "/debug/pprof/", nil)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Fatalf("pprof on: %d %s", rec.Code, rec.Body.String()[:min(120, rec.Body.Len())])
+	}
+}
+
+// TestSearchResponseCarriesPhaseTimings checks the in-band stats now
+// include the phase decomposition.
+func TestSearchResponseCarriesPhaseTimings(t *testing.T) {
+	db, err := core.NewDatabase(core.Options{Dim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	s := New(db)
+	first := seedCorpus(t, s, 3)
+	rec := doJSON(t, s, "POST", "/search", SearchRequest{Points: first[:20], Eps: 0.3})
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats.CPUUs <= 0 {
+		t.Fatalf("cpuUs = %d, want > 0", resp.Stats.CPUUs)
+	}
+}

@@ -9,6 +9,8 @@
 //
 //	GET    /healthz                   liveness + shard/sequence counts
 //	GET    /stats                     database shape
+//	GET    /metrics                   Prometheus text exposition (with WithMetrics)
+//	GET    /debug/pprof/...           runtime profiles (with WithPprof)
 //	POST   /sequences                 {label, points} -> {id}
 //	POST   /sequences/batch           {sequences:[...]} -> {ids}
 //	GET    /sequences/{id}            stored sequence
@@ -19,32 +21,80 @@
 //	POST   /explain                   {points, eps} -> per-sequence decisions
 //
 // Points are JSON arrays of coordinate arrays: [[x1,x2,x3], ...].
+//
+// Observability: with WithMetrics the database is wired into the given
+// registry and /metrics serves it; with WithLogger every request emits a
+// structured log line (request ID, method, path, status, duration) and
+// any query slower than the slow-query threshold additionally dumps its
+// full SearchStats — per-shard stats included on a sharded database — at
+// warn level under the same request ID. Every response carries an
+// X-Request-ID header for correlation.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
 // maxBodyBytes bounds request bodies (64 MiB covers any realistic batch).
 const maxBodyBytes = 64 << 20
 
+// DefaultSlowQueryThreshold is the slow-query log cutoff in force unless
+// WithSlowQueryThreshold overrides it.
+const DefaultSlowQueryThreshold = 500 * time.Millisecond
+
 // Server handles HTTP requests against one database.
 type Server struct {
-	db  shard.DB
-	mux *http.ServeMux
+	db      shard.DB
+	mux     *http.ServeMux
+	handler http.Handler // mux, possibly wrapped in obs middleware
+
+	reg        *obs.Registry
+	logger     *slog.Logger
+	slowThresh time.Duration
+	pprof      bool
 }
 
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithMetrics wires the server and its database into reg: the database
+// records query/ingest activity there (db.SetMetrics), HTTP traffic is
+// counted and timed, and GET /metrics serves the registry in Prometheus
+// text format.
+func WithMetrics(reg *obs.Registry) Option { return func(s *Server) { s.reg = reg } }
+
+// WithLogger enables structured request logging and the slow-query log.
+func WithLogger(l *slog.Logger) Option { return func(s *Server) { s.logger = l } }
+
+// WithSlowQueryThreshold sets the latency above which a search or kNN
+// query is dumped to the slow-query log (0 disables; default
+// DefaultSlowQueryThreshold). Takes effect only with WithLogger.
+func WithSlowQueryThreshold(d time.Duration) Option {
+	return func(s *Server) { s.slowThresh = d }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ — behind a flag
+// because profiles expose internals and cost CPU while streaming.
+func WithPprof(enable bool) Option { return func(s *Server) { s.pprof = enable } }
+
 // New builds a Server around db (single-node or sharded).
-func New(db shard.DB) *Server {
-	s := &Server{db: db, mux: http.NewServeMux()}
+func New(db shard.DB, opts ...Option) *Server {
+	s := &Server{db: db, mux: http.NewServeMux(), slowThresh: DefaultSlowQueryThreshold}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /sequences", s.handleAdd)
@@ -55,17 +105,35 @@ func New(db shard.DB) *Server {
 	s.mux.HandleFunc("POST /search", s.handleSearch)
 	s.mux.HandleFunc("POST /knn", s.handleKNN)
 	s.mux.HandleFunc("POST /explain", s.handleExplain)
+	if s.reg != nil {
+		db.SetMetrics(s.reg)
+		s.mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
+	}
+	if s.pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	s.handler = http.Handler(s.mux)
+	if s.reg != nil || s.logger != nil {
+		s.handler = obs.Middleware(s.reg, s.logger, s.handler)
+	}
 	return s
 }
 
 // ServeHTTP implements http.Handler. Every request body — POST handlers
 // included — is capped by MaxBytesReader before the mux dispatches, so an
-// oversized batch fails with 413 instead of exhausting memory.
+// oversized batch fails with 413 instead of exhausting memory. When
+// observability is wired the mux sits behind obs.Middleware, which
+// supplies the per-request Trace, log line, and HTTP metrics.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Body != nil {
 		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	}
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 // --- wire types ---------------------------------------------------------
@@ -98,13 +166,19 @@ type MatchJSON struct {
 	Intervals [][2]int `json:"intervals"`
 }
 
-// SearchResponse is the body returned by POST /search.
+// SearchResponse is the body returned by POST /search. The phase
+// durations are microseconds; for a sharded database they are the slowest
+// shard's (phases overlap in wall-clock) and cpuUs sums across shards.
 type SearchResponse struct {
 	Matches []MatchJSON `json:"matches"`
 	Stats   struct {
-		QueryMBRs      int `json:"queryMBRs"`
-		Candidates     int `json:"candidates"`
-		TotalSequences int `json:"totalSequences"`
+		QueryMBRs      int   `json:"queryMBRs"`
+		Candidates     int   `json:"candidates"`
+		TotalSequences int   `json:"totalSequences"`
+		Phase1Us       int64 `json:"phase1Us"`
+		Phase2Us       int64 `json:"phase2Us"`
+		Phase3Us       int64 `json:"phase3Us"`
+		CPUUs          int64 `json:"cpuUs"`
 	} `json:"stats"`
 }
 
@@ -251,6 +325,13 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]int{"length": s.db.Segmented(id).Seq.Len()})
 }
 
+// shardSearcher is the optional surface a sharded database adds: search
+// plus per-shard statistics. The handler uses it when present so a slow
+// query can be logged with the stats of the very run that was slow.
+type shardSearcher interface {
+	SearchShards(*core.Sequence, float64) ([]core.Match, core.SearchStats, []shard.ShardStats, error)
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req SearchRequest
 	if !decode(w, r, &req) {
@@ -263,15 +344,29 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	var matches []core.Match
 	var stats core.SearchStats
+	var perShard []shard.ShardStats
+	t0 := time.Now()
 	if req.Parallel {
 		matches, stats, err = s.db.SearchParallel(q, req.Eps, 0)
+	} else if ss, ok := s.db.(shardSearcher); ok {
+		matches, stats, perShard, err = ss.SearchShards(q, req.Eps)
 	} else {
 		matches, stats, err = s.db.Search(q, req.Eps)
 	}
+	took := time.Since(t0)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+
+	// Lift the phase timings into the request trace and, past the
+	// threshold, dump the whole run to the slow-query log.
+	tr := obs.FromContext(r.Context())
+	tr.AddSpan("partition", stats.Phase1)
+	tr.AddSpan("filter", stats.Phase2)
+	tr.AddSpan("refine", stats.Phase3)
+	s.logSlowQuery(r, "search", took, q, req.Eps, 0, stats, perShard)
+
 	resp := SearchResponse{Matches: make([]MatchJSON, len(matches))}
 	for i, m := range matches {
 		mj := MatchJSON{ID: m.SeqID, Label: m.Seq.Label, MinDnorm: m.MinDnorm}
@@ -283,7 +378,62 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	resp.Stats.QueryMBRs = stats.QueryMBRs
 	resp.Stats.Candidates = stats.CandidatesDmbr
 	resp.Stats.TotalSequences = stats.TotalSequences
+	resp.Stats.Phase1Us = stats.Phase1.Microseconds()
+	resp.Stats.Phase2Us = stats.Phase2.Microseconds()
+	resp.Stats.Phase3Us = stats.Phase3.Microseconds()
+	resp.Stats.CPUUs = stats.CPUTime.Microseconds()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// logSlowQuery emits one warn-level structured record for a query whose
+// wall-clock exceeded the threshold: request ID, route, query shape,
+// full SearchStats, and — on a sharded database — the complete per-shard
+// breakdown, so a stuck shard or a collapsed pruning ratio is visible
+// from the log alone.
+func (s *Server) logSlowQuery(r *http.Request, route string, took time.Duration,
+	q *core.Sequence, eps float64, k int, st core.SearchStats, perShard []shard.ShardStats) {
+	if s.logger == nil || s.slowThresh <= 0 || took < s.slowThresh {
+		return
+	}
+	tr := obs.FromContext(r.Context())
+	attrs := []slog.Attr{
+		slog.String("route", route),
+		slog.Duration("took", took),
+		slog.Int("queryPoints", q.Len()),
+		slog.Group("stats",
+			slog.Int("queryMBRs", st.QueryMBRs),
+			slog.Int("totalSequences", st.TotalSequences),
+			slog.Int("candidatesDmbr", st.CandidatesDmbr),
+			slog.Int("matchesDnorm", st.MatchesDnorm),
+			slog.Int("indexEntriesHit", st.IndexEntriesHit),
+			slog.Int("dnormEvals", st.DnormEvals),
+			slog.Duration("phase1", st.Phase1),
+			slog.Duration("phase2", st.Phase2),
+			slog.Duration("phase3", st.Phase3),
+			slog.Duration("cpuTime", st.CPUTime),
+		),
+	}
+	if tr != nil {
+		attrs = append([]slog.Attr{slog.String("requestID", tr.ID)}, attrs...)
+	}
+	if route == "knn" {
+		attrs = append(attrs, slog.Int("k", k))
+	} else {
+		attrs = append(attrs, slog.Float64("eps", eps))
+	}
+	for _, ps := range perShard {
+		attrs = append(attrs, slog.Group("shard."+strconv.Itoa(ps.Shard),
+			slog.Int("totalSequences", ps.Stats.TotalSequences),
+			slog.Int("candidatesDmbr", ps.Stats.CandidatesDmbr),
+			slog.Int("matchesDnorm", ps.Stats.MatchesDnorm),
+			slog.Int("indexEntriesHit", ps.Stats.IndexEntriesHit),
+			slog.Int("dnormEvals", ps.Stats.DnormEvals),
+			slog.Duration("phase1", ps.Stats.Phase1),
+			slog.Duration("phase2", ps.Stats.Phase2),
+			slog.Duration("phase3", ps.Stats.Phase3),
+		))
+	}
+	s.logger.LogAttrs(r.Context(), slog.LevelWarn, "slow query", attrs...)
 }
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
@@ -296,11 +446,14 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	t0 := time.Now()
 	results, err := s.db.SearchKNN(q, req.K)
+	took := time.Since(t0)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.logSlowQuery(r, "knn", took, q, 0, req.K, core.SearchStats{}, nil)
 	out := make([]NeighborJSON, len(results))
 	for i, n := range results {
 		out[i] = NeighborJSON{ID: n.SeqID, Label: n.Seq.Label, Dist: n.Dist, Offset: n.Offset}

@@ -3,6 +3,7 @@ package shard
 import (
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // DB is the database surface the serving layers (internal/server,
@@ -36,6 +37,11 @@ type DB interface {
 	IndexFanout() int
 	Shards() int
 	Dim() int
+
+	// Observability: record query/ingest activity into a metrics
+	// registry (nil detaches). On a ShardedDB only the scatter-gather
+	// layer records, so a query counts once regardless of shard count.
+	SetMetrics(*obs.Registry)
 
 	// Lifecycle.
 	Flush() error

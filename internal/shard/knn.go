@@ -5,6 +5,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 )
@@ -23,10 +25,14 @@ func (s *ShardedDB) SearchKNN(q *core.Sequence, k int) ([]core.KNNResult, error)
 	if k <= 0 {
 		return nil, nil
 	}
+	t0 := time.Now()
 	n := len(s.shards)
 
 	// gather holds the running global top k; worst() is the seed bound.
+	// seeded counts shard launches that read a finite bound — the
+	// bound-seeding effectiveness observable.
 	gather := &knnGather{k: k}
+	var seeded atomic.Int64
 	errs := make([]error, n)
 	sem := make(chan struct{}, scatterWorkers(n))
 	var wg sync.WaitGroup
@@ -36,7 +42,11 @@ func (s *ShardedDB) SearchKNN(q *core.Sequence, k int) ([]core.KNNResult, error)
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			local, err := s.shards[i].SearchKNNBounded(q, k, gather.worst())
+			bound := gather.worst()
+			if !math.IsInf(bound, 1) {
+				seeded.Add(1)
+			}
+			local, err := s.shards[i].SearchKNNBounded(q, k, bound)
 			if err != nil {
 				errs[i] = err
 				return
@@ -52,6 +62,10 @@ func (s *ShardedDB) SearchKNN(q *core.Sequence, k int) ([]core.KNNResult, error)
 		if err != nil {
 			return nil, fmt.Errorf("shard: shard %d: %w", i, err)
 		}
+	}
+	if m := s.metrics(); m != nil {
+		sd := int(seeded.Load())
+		m.recordKNN(time.Since(t0), sd, n-sd)
 	}
 	return gather.top(), nil
 }

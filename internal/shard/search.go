@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 )
@@ -47,6 +48,7 @@ func (s *ShardedDB) scatterSearch(q *core.Sequence, eps float64, workers int) ([
 	type result struct {
 		matches []core.Match
 		stats   core.SearchStats
+		wall    time.Duration // launch-to-result, queueing included
 		err     error
 	}
 	results := make([]result, n)
@@ -56,10 +58,11 @@ func (s *ShardedDB) scatterSearch(q *core.Sequence, eps float64, workers int) ([
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			t0 := time.Now()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			m, st, err := s.shards[i].Search(q, eps)
-			results[i] = result{matches: m, stats: st, err: err}
+			results[i] = result{matches: m, stats: st, wall: time.Since(t0), err: err}
 		}(i)
 	}
 	wg.Wait()
@@ -79,14 +82,31 @@ func (s *ShardedDB) scatterSearch(q *core.Sequence, eps float64, workers int) ([
 		mergeStats(&merged, r.stats)
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].SeqID < out[b].SeqID })
+	if m := s.metrics(); m != nil {
+		durs := make([]time.Duration, n)
+		for i, r := range results {
+			durs[i] = r.wall
+		}
+		m.recordScatter(merged, durs)
+	}
 	return out, merged, perShard, nil
 }
 
-// mergeStats folds one shard's stats into the merged view: counters sum;
-// phase durations take the max, since the shards run the phases
-// concurrently and the slowest bounds the wall-clock. QueryMBRs is the
-// same on every shard (same query, same partitioning), so it is kept, not
-// summed.
+// mergeStats folds one shard's stats into the merged view. The semantics,
+// explicitly:
+//
+//   - Counters (TotalSequences, CandidatesDmbr, MatchesDnorm,
+//     IndexEntriesHit, DnormEvals) sum — they are disjoint per-shard work,
+//     so the sums keep the pruning ratios exact.
+//   - Phase1..Phase3 take the per-phase MAX: the shards run concurrently,
+//     so summing them would overstate wall-clock by up to a factor of N.
+//     The merged Total() is therefore an upper bound on the scatter's
+//     wall-clock (each phase's max may come from a different shard), never
+//     the cross-shard compute sum.
+//   - CPUTime sums — it is the aggregate compute the scatter consumed
+//     across all shards; CPUTime/Total() reads as effective parallelism.
+//   - QueryMBRs is the same on every shard (same query, same
+//     partitioning), so it is kept, not summed.
 func mergeStats(dst *core.SearchStats, st core.SearchStats) {
 	dst.QueryMBRs = st.QueryMBRs
 	dst.TotalSequences += st.TotalSequences
@@ -94,6 +114,7 @@ func mergeStats(dst *core.SearchStats, st core.SearchStats) {
 	dst.MatchesDnorm += st.MatchesDnorm
 	dst.IndexEntriesHit += st.IndexEntriesHit
 	dst.DnormEvals += st.DnormEvals
+	dst.CPUTime += st.CPUTime
 	if st.Phase1 > dst.Phase1 {
 		dst.Phase1 = st.Phase1
 	}

@@ -25,6 +25,8 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -40,6 +42,7 @@ var ErrNoShards = errors.New("shard: shard count must be >= 1")
 type ShardedDB struct {
 	shards []*core.Database
 	opts   core.Options
+	met    atomic.Pointer[shardMetrics] // nil until SetMetrics
 }
 
 // New creates a ShardedDB of n empty shards, each configured with opts.
@@ -111,12 +114,17 @@ func (s *ShardedDB) SplitID(global uint32) (shard int, local uint32) {
 // Add routes the sequence to its label's shard and returns the global id.
 // As with core.Database.Add, the database keeps a reference to seq.
 func (s *ShardedDB) Add(seq *core.Sequence) (uint32, error) {
+	t0 := time.Now()
 	sh := ShardFor(seq.Label, len(s.shards))
 	local, err := s.shards[sh].Add(seq)
 	if err != nil {
 		return 0, err
 	}
 	seq.ID = s.globalID(sh, local)
+	if m := s.metrics(); m != nil {
+		m.core.RecordAdd(time.Since(t0))
+		m.core.SetShape(s.Len(), s.NumMBRs())
+	}
 	return seq.ID, nil
 }
 
@@ -168,6 +176,10 @@ func (s *ShardedDB) AddAll(seqs []*core.Sequence) ([]uint32, error) {
 			return nil, fmt.Errorf("shard: shard %d: %w", sh, err)
 		}
 	}
+	if m := s.metrics(); m != nil {
+		m.core.RecordBulkAdd(len(seqs))
+		m.core.SetShape(s.Len(), s.NumMBRs())
+	}
 	return ids, nil
 }
 
@@ -179,6 +191,9 @@ func (s *ShardedDB) Remove(global uint32) error {
 			return fmt.Errorf("%w: %d", core.ErrUnknownSequence, global)
 		}
 		return err
+	}
+	if m := s.metrics(); m != nil {
+		m.core.SetShape(s.Len(), s.NumMBRs())
 	}
 	return nil
 }

@@ -29,8 +29,11 @@
 package mdseq
 
 import (
+	"net/http"
+
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/store"
 )
@@ -192,6 +195,20 @@ func ShardFor(label string, n int) int { return shard.ShardFor(label, n) }
 // SaveSharded persists a sharded database (one subdirectory per shard
 // plus a shard-count record) into a directory LoadSharded can restore.
 func SaveSharded(db *ShardedDB, dir string) error { return store.SaveSharded(db, dir) }
+
+// --- observability -------------------------------------------------------
+
+// MetricsRegistry is a stdlib-only metrics registry: atomic counters,
+// gauges, and fixed-bucket latency histograms with a Prometheus
+// text-exposition encoder. Wire it into a database with SetMetrics and
+// serve it with MetricsHandler (or mdsserve's built-in GET /metrics).
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricsHandler serves reg in Prometheus text exposition format.
+func MetricsHandler(reg *MetricsRegistry) http.Handler { return obs.MetricsHandler(reg) }
 
 // LoadSharded restores a database saved with SaveSharded, preserving the
 // shard count and placement. A plain Save directory loads as one shard.
