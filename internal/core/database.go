@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -332,6 +333,19 @@ type SearchStats struct {
 	// shard.mergeStats), so CPUTime/Total() reads as the scatter's
 	// effective parallelism.
 	CPUTime time.Duration
+	// Partial is true when this result was assembled from fewer shards
+	// than exist — some shard missed its deadline or failed and the
+	// scatter was configured to degrade instead of erroring. A partial
+	// answer set is a subset of the complete one (the answered shards'
+	// results are exact), so the paper's no-false-dismissal guarantee
+	// holds only for the corpus slice the answered shards own. Always
+	// false for a single-node search.
+	Partial bool
+	// ShardsAnswered is the number of shards whose results this stats
+	// value merges. It equals the deployment's shard count when the
+	// answer is complete, and it is 0 when the stats did not pass
+	// through a scatter merge (plain single-node search).
+	ShardsAnswered int
 }
 
 // Total returns the end-to-end wall-clock search duration. For merged
@@ -345,6 +359,17 @@ func (st SearchStats) Total() time.Duration { return st.Phase1 + st.Phase2 + st.
 // with Dnorm and assemble solution intervals (phase 3). Results are
 // ordered by ascending sequence id.
 func (db *Database) Search(q *Sequence, eps float64) ([]Match, SearchStats, error) {
+	return db.SearchCtx(context.Background(), q, eps)
+}
+
+// SearchCtx is Search honoring a context deadline or cancellation: the
+// search checks ctx between phases and periodically inside the phase 2
+// and phase 3 loops, abandoning the query with ctx's error as soon as a
+// check fires. A canceled search records nothing into the metrics
+// registry. The check granularity is a batch of candidates, so
+// cancellation latency is bounded by one batch of metric work, not by the
+// whole query.
+func (db *Database) SearchCtx(ctx context.Context, q *Sequence, eps float64) ([]Match, SearchStats, error) {
 	var st SearchStats
 	if err := q.Validate(); err != nil {
 		return nil, st, err
@@ -362,6 +387,9 @@ func (db *Database) Search(q *Sequence, eps float64) ([]Match, SearchStats, erro
 	if db.pg == nil {
 		return nil, st, errors.New("core: database closed")
 	}
+	if err := searchCanceled(ctx); err != nil {
+		return nil, st, err
+	}
 	st.TotalSequences = db.live
 
 	// Phase 1: partition the query sequence.
@@ -378,6 +406,9 @@ func (db *Database) Search(q *Sequence, eps float64) ([]Match, SearchStats, erro
 	t1 := time.Now()
 	candidates := make(map[uint32]bool)
 	for _, qm := range qseg.MBRs {
+		if err := searchCanceled(ctx); err != nil {
+			return nil, st, err
+		}
 		err := db.tree.WithinDist(qm.Rect, eps, func(it rtree.Item) bool {
 			st.IndexEntriesHit++
 			seqID, _ := it.Ref.Unpack()
@@ -400,7 +431,12 @@ func (db *Database) Search(q *Sequence, eps float64) ([]Match, SearchStats, erro
 		ids = append(ids, id)
 	}
 	sortUint32s(ids)
-	for _, id := range ids {
+	for ci, id := range ids {
+		if ci%cancelCheckEvery == 0 {
+			if err := searchCanceled(ctx); err != nil {
+				return nil, st, err
+			}
+		}
 		m, hit, evals := phase3One(qseg, db.seqs[id], q.Len(), eps)
 		m.SeqID = id
 		st.DnormEvals += evals
@@ -481,4 +517,21 @@ func (db *Database) CandidatesDmbr(q *Sequence, eps float64) (map[uint32]bool, e
 
 func sortUint32s(xs []uint32) {
 	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// cancelCheckEvery is how many candidates a ctx-aware search processes
+// between cancellation checks. Checking ctx.Err() takes a lock in some
+// context implementations, so the batch keeps the check cost well under
+// the metric work it gates while still bounding cancellation latency to
+// one batch.
+const cancelCheckEvery = 64
+
+// searchCanceled translates a fired context into the error a ctx-aware
+// query returns. The context's own error is wrapped, so callers can keep
+// using errors.Is(err, context.DeadlineExceeded / context.Canceled).
+func searchCanceled(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: search canceled: %w", err)
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -30,6 +31,12 @@ func (db *Database) SearchKNN(q *Sequence, k int) ([]KNNResult, error) {
 	return db.SearchKNNBounded(q, k, math.Inf(1))
 }
 
+// SearchKNNCtx is SearchKNN honoring a context deadline or cancellation
+// (see SearchCtx for the check granularity and error contract).
+func (db *Database) SearchKNNCtx(ctx context.Context, q *Sequence, k int) ([]KNNResult, error) {
+	return db.SearchKNNBoundedCtx(ctx, q, k, math.Inf(1))
+}
+
 // SearchKNNBounded is SearchKNN restricted to sequences with D(Q,S) ≤
 // bound: refinement stops as soon as the next Dnorm lower bound exceeds
 // min(bound, current k-th best), and results beyond bound are dropped
@@ -39,6 +46,14 @@ func (db *Database) SearchKNN(q *Sequence, k int) ([]KNNResult, error) {
 // it skips has D > w and cannot re-enter the global top k).
 // bound=+Inf is exactly SearchKNN.
 func (db *Database) SearchKNNBounded(q *Sequence, k int, bound float64) ([]KNNResult, error) {
+	return db.SearchKNNBoundedCtx(context.Background(), q, k, bound)
+}
+
+// SearchKNNBoundedCtx is SearchKNNBounded honoring a context deadline or
+// cancellation: the lower-bound pass and the refinement loop both check
+// ctx periodically and abandon the query with ctx's error. A canceled
+// query records nothing into the metrics registry.
+func (db *Database) SearchKNNBoundedCtx(ctx context.Context, q *Sequence, k int, bound float64) ([]KNNResult, error) {
 	t0 := time.Now()
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -70,6 +85,11 @@ func (db *Database) SearchKNNBounded(q *Sequence, k int, bound float64) ([]KNNRe
 		if g == nil {
 			continue // removed
 		}
+		if id%cancelCheckEvery == 0 {
+			if err := searchCanceled(ctx); err != nil {
+				return nil, err
+			}
+		}
 		bound := math.Inf(1)
 		for _, qm := range qseg.MBRs {
 			c := newDnormCalc(qm.Rect, qm.Count(), g)
@@ -89,6 +109,11 @@ func (db *Database) SearchKNNBounded(q *Sequence, k int, bound float64) ([]KNNRe
 	var out []KNNResult
 	worst := bound
 	for h.Len() > 0 {
+		if refined%cancelCheckEvery == 0 {
+			if err := searchCanceled(ctx); err != nil {
+				return nil, err
+			}
+		}
 		c := heap.Pop(h).(knnCand)
 		if c.bound > worst {
 			break

@@ -14,7 +14,7 @@ import (
 
 // Label is one metric dimension, e.g. {Key: "shard", Value: "3"}.
 type Label struct {
-	Key, Value string
+	Key, Value string // label name and value as rendered in the exposition
 }
 
 // Registry holds named metric families and renders them in Prometheus

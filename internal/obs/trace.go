@@ -18,7 +18,7 @@ import (
 // All methods are safe for concurrent use and safe on a nil receiver, so
 // instrumented code never has to check whether tracing is wired.
 type Trace struct {
-	ID    string
+	ID    string // request ID, echoed to clients in X-Request-ID
 	start time.Time
 
 	mu    sync.Mutex
@@ -27,9 +27,9 @@ type Trace struct {
 
 // Span is one named timed section of a request.
 type Span struct {
-	Name  string
+	Name  string        // span label, e.g. "phase2"
 	Start time.Duration // offset from trace start
-	Dur   time.Duration
+	Dur   time.Duration // elapsed time inside the span
 }
 
 // traceIDs seeds request-ID generation: a random per-process prefix plus

@@ -29,9 +29,19 @@
 // full SearchStats — per-shard stats included on a sharded database — at
 // warn level under the same request ID. Every response carries an
 // X-Request-ID header for correlation.
+//
+// Robustness: /search and /knn run under the request context, so a
+// client disconnect or a request deadline cancels the query all the way
+// down into the per-shard searches. On a sharded database configured
+// with a fault-tolerance policy (mdsserve -shard-timeout / -hedge-after
+// / -retries / -allow-partial), a degraded answer is flagged in the
+// response ("partial": true plus the list of shards that answered), and
+// a query that cannot be served within its deadline returns 504 instead
+// of hanging.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -169,9 +179,23 @@ type MatchJSON struct {
 // SearchResponse is the body returned by POST /search. The phase
 // durations are microseconds; for a sharded database they are the slowest
 // shard's (phases overlap in wall-clock) and cpuUs sums across shards.
+//
+// Partial answers: when the database is sharded and its fault-tolerance
+// policy allows degradation, a query whose shard(s) failed or timed out
+// still succeeds with Partial set and ShardsAnswered listing the shard
+// indexes that contributed — the matches are then exact for those
+// shards' corpus slice only (see the shard package for what this does to
+// the paper's no-false-dismissal guarantee). Both fields are omitted on
+// complete answers from single-node deployments.
 type SearchResponse struct {
 	Matches []MatchJSON `json:"matches"`
-	Stats   struct {
+	// Partial is true when some shards did not contribute to Matches.
+	Partial bool `json:"partial,omitempty"`
+	// ShardsAnswered lists the shard indexes whose results Matches
+	// covers, in ascending order. Present whenever the per-shard search
+	// path ran (sharded database), complete or not.
+	ShardsAnswered []int `json:"shardsAnswered,omitempty"`
+	Stats          struct {
 		QueryMBRs      int   `json:"queryMBRs"`
 		Candidates     int   `json:"candidates"`
 		TotalSequences int   `json:"totalSequences"`
@@ -326,10 +350,12 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 }
 
 // shardSearcher is the optional surface a sharded database adds: search
-// plus per-shard statistics. The handler uses it when present so a slow
-// query can be logged with the stats of the very run that was slow.
+// plus per-shard statistics, under the request context. The handler uses
+// it when present so a slow query can be logged with the stats of the
+// very run that was slow, and so a partial answer can list exactly the
+// shards that produced it.
 type shardSearcher interface {
-	SearchShards(*core.Sequence, float64) ([]core.Match, core.SearchStats, []shard.ShardStats, error)
+	SearchShardsCtx(context.Context, *core.Sequence, float64) ([]core.Match, core.SearchStats, []shard.ShardStats, error)
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -349,13 +375,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if req.Parallel {
 		matches, stats, err = s.db.SearchParallel(q, req.Eps, 0)
 	} else if ss, ok := s.db.(shardSearcher); ok {
-		matches, stats, perShard, err = ss.SearchShards(q, req.Eps)
+		matches, stats, perShard, err = ss.SearchShardsCtx(r.Context(), q, req.Eps)
 	} else {
-		matches, stats, err = s.db.Search(q, req.Eps)
+		matches, stats, err = s.db.SearchCtx(r.Context(), q, req.Eps)
 	}
 	took := time.Since(t0)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, queryErrStatus(err), err)
 		return
 	}
 
@@ -368,6 +394,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.logSlowQuery(r, "search", took, q, req.Eps, 0, stats, perShard)
 
 	resp := SearchResponse{Matches: make([]MatchJSON, len(matches))}
+	resp.Partial = stats.Partial
+	for _, ps := range perShard {
+		resp.ShardsAnswered = append(resp.ShardsAnswered, ps.Shard)
+	}
 	for i, m := range matches {
 		mj := MatchJSON{ID: m.SeqID, Label: m.Seq.Label, MinDnorm: m.MinDnorm}
 		for _, rg := range m.Interval.Ranges() {
@@ -447,10 +477,10 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t0 := time.Now()
-	results, err := s.db.SearchKNN(q, req.K)
+	results, err := s.db.SearchKNNCtx(r.Context(), q, req.K)
 	took := time.Since(t0)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, queryErrStatus(err), err)
 		return
 	}
 	s.logSlowQuery(r, "knn", took, q, 0, req.K, core.SearchStats{}, nil)
@@ -534,4 +564,20 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 
 func httpError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// queryErrStatus maps a failed query to its HTTP status: a blown
+// deadline is the gateway-timeout story (504), a canceled request
+// context means the client is gone (499 in nginx's vocabulary; the
+// closest standard code is 503), and anything else is the caller's
+// fault (400).
+func queryErrStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
 }

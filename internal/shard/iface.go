@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/obs"
@@ -13,38 +15,63 @@ import (
 // scale work (remote shards, replicas) slots in behind the same
 // interface.
 type DB interface {
-	// Writes.
+	// Add stores one sequence and returns its id.
 	Add(*core.Sequence) (uint32, error)
+	// AddAll bulk-loads sequences and returns their ids in input order.
 	AddAll([]*core.Sequence) ([]uint32, error)
+	// Remove deletes the sequence with the given id.
 	Remove(uint32) error
+	// AppendPoints extends a stored sequence with more points.
 	AppendPoints(uint32, []geom.Point) error
 
-	// Lookups.
+	// Segmented returns a stored sequence with its MBR partitioning, or
+	// nil if the id is unknown.
 	Segmented(uint32) *core.Segmented
+	// Sequences lists every live sequence.
 	Sequences() []*core.Sequence
 
-	// Queries.
+	// Search runs the three-phase range search: sequences within eps of
+	// the query, with their solution intervals. The Ctx variants below
+	// honor a caller deadline or cancellation — the serving layer always
+	// uses them with the request context, so a dead client or an expired
+	// query budget stops the work. On a ShardedDB they additionally run
+	// under the fault-tolerance Policy (per-shard timeout, retry,
+	// hedging, partial results).
 	Search(*core.Sequence, float64) ([]core.Match, core.SearchStats, error)
+	// SearchCtx is Search bounded by the context's deadline/cancellation.
+	SearchCtx(context.Context, *core.Sequence, float64) ([]core.Match, core.SearchStats, error)
+	// SearchParallel is Search with phase 3 refined by that many workers.
 	SearchParallel(*core.Sequence, float64, int) ([]core.Match, core.SearchStats, error)
+	// SearchKNN returns the k sequences nearest the query by MinDnorm.
 	SearchKNN(*core.Sequence, int) ([]core.KNNResult, error)
+	// SearchKNNCtx is SearchKNN bounded by the context.
+	SearchKNNCtx(context.Context, *core.Sequence, int) ([]core.KNNResult, error)
+	// SequentialSearch is the exact linear-scan baseline.
 	SequentialSearch(*core.Sequence, float64) ([]core.ScanResult, error)
+	// Explain records every pruning decision a search makes.
 	Explain(*core.Sequence, float64) (*core.Explanation, error)
 
-	// Shape.
+	// Len reports the number of live sequences.
 	Len() int
+	// NumMBRs reports the number of indexed MBRs across all sequences.
 	NumMBRs() int
+	// IndexHeight reports the R*-tree height (max across shards).
 	IndexHeight() int
+	// IndexFanout reports the R*-tree node fan-out.
 	IndexFanout() int
+	// Shards reports the shard count (1 for a single-node database).
 	Shards() int
+	// Dim reports the point dimensionality.
 	Dim() int
 
-	// Observability: record query/ingest activity into a metrics
-	// registry (nil detaches). On a ShardedDB only the scatter-gather
-	// layer records, so a query counts once regardless of shard count.
+	// SetMetrics records query/ingest activity into a metrics registry
+	// (nil detaches). On a ShardedDB only the scatter-gather layer
+	// records, so a query counts once regardless of shard count.
 	SetMetrics(*obs.Registry)
 
-	// Lifecycle.
+	// Flush persists index pages to the backing file, if any.
 	Flush() error
+	// Close releases the database (flushing pager/WAL state first).
 	Close() error
 }
 

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -22,17 +23,35 @@ import (
 // seed only ever tightens a valid upper bound, so no neighbor can be
 // dismissed: a pruned sequence has D > bound ≥ final k-th distance.
 func (s *ShardedDB) SearchKNN(q *core.Sequence, k int) ([]core.KNNResult, error) {
+	return s.SearchKNNCtx(context.Background(), q, k)
+}
+
+// SearchKNNCtx is SearchKNN under a caller context and the
+// fault-tolerance Policy in force (timeout, retry, hedging — see
+// SearchCtx). With Policy.AllowPartial a shard that exhausts its attempts
+// is skipped: the returned neighbors are then the exact top k of the
+// answered shards' corpus slice only, and — unlike a range search, whose
+// partial answer is a correct subset — true global neighbors stored on
+// the skipped shard are silently missing. Degraded kNN answers are
+// therefore only counted in the partial-results metric, not flagged in
+// the result itself; callers that must distinguish use the range-search
+// path or keep AllowPartial off.
+func (s *ShardedDB) SearchKNNCtx(ctx context.Context, q *core.Sequence, k int) ([]core.KNNResult, error) {
 	if k <= 0 {
 		return nil, nil
 	}
 	t0 := time.Now()
 	n := len(s.shards)
+	pol := s.Policy()
+	met := s.metrics()
 
 	// gather holds the running global top k; worst() is the seed bound.
 	// seeded counts shard launches that read a finite bound — the
-	// bound-seeding effectiveness observable.
+	// bound-seeding effectiveness observable. A retried or hedged call
+	// re-reads the bound at launch, so later attempts seed at least as
+	// tightly as the ones they replace.
 	gather := &knnGather{k: k}
-	var seeded atomic.Int64
+	var seeded, unseeded atomic.Int64
 	errs := make([]error, n)
 	sem := make(chan struct{}, scatterWorkers(n))
 	var wg sync.WaitGroup
@@ -42,11 +61,16 @@ func (s *ShardedDB) SearchKNN(q *core.Sequence, k int) ([]core.KNNResult, error)
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			bound := gather.worst()
-			if !math.IsInf(bound, 1) {
-				seeded.Add(1)
-			}
-			local, err := s.shards[i].SearchKNNBounded(q, k, bound)
+			b := s.backend(i)
+			local, err := robustCall(ctx, pol, met, func(actx context.Context) ([]core.KNNResult, error) {
+				bound := gather.worst()
+				if math.IsInf(bound, 1) {
+					unseeded.Add(1)
+				} else {
+					seeded.Add(1)
+				}
+				return b.SearchKNNBoundedCtx(actx, q, k, bound)
+			})
 			if err != nil {
 				errs[i] = err
 				return
@@ -58,14 +82,28 @@ func (s *ShardedDB) SearchKNN(q *core.Sequence, k int) ([]core.KNNResult, error)
 		}(i)
 	}
 	wg.Wait()
+	answered := 0
+	var firstErr error
 	for i, err := range errs {
-		if err != nil {
+		if err == nil {
+			answered++
+			continue
+		}
+		if !pol.AllowPartial {
 			return nil, fmt.Errorf("shard: shard %d: %w", i, err)
 		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("shard: shard %d: %w", i, err)
+		}
 	}
-	if m := s.metrics(); m != nil {
-		sd := int(seeded.Load())
-		m.recordKNN(time.Since(t0), sd, n-sd)
+	if answered == 0 {
+		return nil, firstErr
+	}
+	if met != nil {
+		if answered < n {
+			met.incPartial()
+		}
+		met.recordKNN(time.Since(t0), int(seeded.Load()), int(unseeded.Load()))
 	}
 	return gather.top(), nil
 }

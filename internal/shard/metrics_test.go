@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -103,6 +104,99 @@ func TestMergeStatsWallVsCPU(t *testing.T) {
 	}
 	if merged.CandidatesDmbr != 7 || merged.TotalSequences != 22 {
 		t.Fatalf("counters must sum: %+v", merged)
+	}
+}
+
+// TestMergeStatsPartialMerge pins the stats semantics of a k-of-n gather:
+// the merge folds only the answered shards — sums and maxima cover the
+// answered set and nothing else — while the Partial / ShardsAnswered
+// markers are the gather loop's job, never mergeStats'.
+func TestMergeStatsPartialMerge(t *testing.T) {
+	shardStats := []core.SearchStats{
+		{Phase1: 1 * time.Millisecond, Phase2: 2 * time.Millisecond, Phase3: 3 * time.Millisecond,
+			CandidatesDmbr: 5, MatchesDnorm: 2, TotalSequences: 10, DnormEvals: 5, IndexEntriesHit: 7},
+		{Phase1: 4 * time.Millisecond, Phase2: 1 * time.Millisecond, Phase3: 6 * time.Millisecond,
+			CandidatesDmbr: 3, MatchesDnorm: 1, TotalSequences: 11, DnormEvals: 3, IndexEntriesHit: 9},
+		// Shard 2 never answered: under AllowPartial its stats are simply
+		// absent from the merge.
+		{Phase1: 100 * time.Millisecond, Phase2: 100 * time.Millisecond, Phase3: 100 * time.Millisecond,
+			CandidatesDmbr: 99, TotalSequences: 99},
+	}
+	for i := range shardStats {
+		shardStats[i].CPUTime = shardStats[i].Total()
+	}
+	answered := shardStats[:2] // 2 of 3 shards
+
+	var merged core.SearchStats
+	for _, st := range answered {
+		mergeStats(&merged, st)
+	}
+	// Wall phases: max over answered shards only — the missing shard's
+	// (larger) timings must not leak in.
+	if merged.Phase1 != 4*time.Millisecond || merged.Phase2 != 2*time.Millisecond || merged.Phase3 != 6*time.Millisecond {
+		t.Fatalf("partial merge phases = %v/%v/%v, want maxima over answered shards only",
+			merged.Phase1, merged.Phase2, merged.Phase3)
+	}
+	// CPUTime: sum over answered shards only.
+	if want := answered[0].CPUTime + answered[1].CPUTime; merged.CPUTime != want {
+		t.Fatalf("partial merge CPUTime = %v, want %v (answered shards only)", merged.CPUTime, want)
+	}
+	if merged.TotalSequences != 21 || merged.CandidatesDmbr != 8 || merged.MatchesDnorm != 3 {
+		t.Fatalf("partial merge counters leak the missing shard: %+v", merged)
+	}
+	// mergeStats itself never claims completeness either way; the gather
+	// loop stamps these after it knows how many shards answered.
+	if merged.Partial || merged.ShardsAnswered != 0 {
+		t.Fatalf("mergeStats must not stamp Partial/ShardsAnswered, got %v/%d",
+			merged.Partial, merged.ShardsAnswered)
+	}
+}
+
+// TestPartialMergeEndToEndStats drives a real 2-of-4 partial gather and
+// checks the merged stats describe exactly the answered shards' work.
+func TestPartialMergeEndToEndStats(t *testing.T) {
+	seqs := corpus(t, 40, 64, 21)
+	sdb := newSharded(t, clone(seqs), 4)
+	q := &core.Sequence{Label: "q", Points: seqs[2].Points[4:36]}
+
+	// Per-shard corpus sizes, taken directly from the shards that will
+	// survive; timings vary run to run, so only structure is compared.
+	var wantSeqs int
+	for _, i := range []int{1, 2} {
+		_, st, err := sdb.Shard(i).Search(q, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSeqs += st.TotalSequences
+	}
+	for _, i := range []int{0, 3} {
+		f := NewFaultDB(sdb.Shard(i), Fault{Err: errInjected})
+		f.Cycle = true
+		sdb.SetShardBackend(i, f)
+	}
+	sdb.SetPolicy(Policy{AllowPartial: true})
+
+	_, st, per, err := sdb.SearchShardsCtx(context.Background(), q, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Partial || st.ShardsAnswered != 2 || len(per) != 2 {
+		t.Fatalf("want 2-of-4 partial, got partial=%v answered=%d per=%d",
+			st.Partial, st.ShardsAnswered, len(per))
+	}
+	if st.TotalSequences != wantSeqs {
+		t.Fatalf("partial TotalSequences = %d, want %d (answered shards' corpora only)",
+			st.TotalSequences, wantSeqs)
+	}
+	var perCPU time.Duration
+	for _, ps := range per {
+		if ps.Shard == 0 || ps.Shard == 3 {
+			t.Fatalf("faulted shard %d appears in answered stats", ps.Shard)
+		}
+		perCPU += ps.Stats.CPUTime
+	}
+	if st.CPUTime != perCPU {
+		t.Fatalf("merged CPUTime %v != sum of answered shards' CPUTime %v", st.CPUTime, perCPU)
 	}
 }
 

@@ -1,0 +1,152 @@
+package shard
+
+// Straggler benchmark for the hedging path: one of eight shards is made
+// deterministically slow through a cycling FaultDB script, and the same
+// query mix runs with hedging off and on. The hedged run must cut the
+// injected tail (P99) because every hedge lands on the script's fast
+// entry while the primary is stuck in the slow one.
+//
+// The measurement doubles as the EXPERIMENTS.md fault-injection
+// experiment: when BENCH_ROBUSTNESS_OUT is set (CI sets it to
+// BENCH_robustness.json) the test writes the before/after percentiles and
+// the hedges-won count as a JSON document.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+const (
+	stragglerShards  = 8
+	stragglerDelay   = 40 * time.Millisecond
+	stragglerQueries = 30
+	stragglerHedge   = 4 * time.Millisecond
+)
+
+// stragglerFixture builds an 8-shard database whose shard 0 alternates
+// slow/fast per call: a cycling script of {Delay} then {} means an
+// unhedged workload sees every other query stall, while a hedged workload
+// has each stalled primary raced by a pass-through hedge.
+func stragglerFixture(t testing.TB) (*ShardedDB, *core.Sequence, *obs.Registry) {
+	t.Helper()
+	seqs := corpus(t, 64, 64, 7)
+	sdb := newSharded(t, clone(seqs), stragglerShards)
+	f := NewFaultDB(sdb.Shard(0), Fault{Delay: stragglerDelay}, Fault{})
+	f.Cycle = true
+	sdb.SetShardBackend(0, f)
+	reg := obs.NewRegistry()
+	sdb.SetMetrics(reg)
+	return sdb, &core.Sequence{Label: "q", Points: seqs[1].Points[8:40]}, reg
+}
+
+// runQueries executes n identical scatter searches and returns each
+// query's wall latency.
+func runQueries(t testing.TB, sdb *ShardedDB, q *core.Sequence, n int) []time.Duration {
+	t.Helper()
+	out := make([]time.Duration, n)
+	for i := range out {
+		t0 := time.Now()
+		if _, _, err := sdb.SearchCtx(context.Background(), q, 0.25); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = time.Since(t0)
+	}
+	return out
+}
+
+// percentile returns the p-th percentile (0..100) of the sample by
+// nearest-rank on the sorted copy.
+func percentile(samples []time.Duration, p float64) time.Duration {
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(float64(len(s)-1) * p / 100)
+	return s[idx]
+}
+
+// TestFaultStragglerHedgingP99 is the acceptance measurement: with one
+// shard of eight injected slow, enabling hedged requests must drop the
+// workload's P99 below the unhedged P99, and the win must be visible in
+// mdseq_shard_hedges_won_total. With BENCH_ROBUSTNESS_OUT set the
+// numbers are written as BENCH_robustness.json for the bench trajectory.
+func TestFaultStragglerHedgingP99(t *testing.T) {
+	sdb, q, reg := stragglerFixture(t)
+
+	// Phase 1: hedging off — every other query eats the full injected
+	// delay, so P99 is pinned at >= stragglerDelay by construction.
+	unhedged := runQueries(t, sdb, q, stragglerQueries)
+
+	// Phase 2: hedging on — each stalled primary is raced after
+	// stragglerHedge by a hedge that draws the script's fast entry.
+	sdb.SetPolicy(Policy{HedgeAfter: stragglerHedge})
+	hedged := runQueries(t, sdb, q, stragglerQueries)
+
+	up50, up99 := percentile(unhedged, 50), percentile(unhedged, 99)
+	hp50, hp99 := percentile(hedged, 50), percentile(hedged, 99)
+	hedgesWon := reg.Counter("mdseq_shard_hedges_won_total", "").Value()
+	t.Logf("unhedged p50=%v p99=%v | hedged p50=%v p99=%v | hedges won=%d",
+		up50, up99, hp50, hp99, hedgesWon)
+
+	if up99 < stragglerDelay {
+		t.Fatalf("unhedged P99 %v below the injected %v delay; fixture broken", up99, stragglerDelay)
+	}
+	if hp99 >= up99 {
+		t.Fatalf("hedging did not cut the tail: hedged P99 %v >= unhedged P99 %v", hp99, up99)
+	}
+	if hedgesWon == 0 {
+		t.Fatal("hedges_won_total = 0; the straggler's hedges should win")
+	}
+
+	if out := os.Getenv("BENCH_ROBUSTNESS_OUT"); out != "" {
+		doc := map[string]any{
+			"name":              "straggler_hedging",
+			"shards":            stragglerShards,
+			"straggler_shards":  1,
+			"injected_delay_ms": float64(stragglerDelay) / float64(time.Millisecond),
+			"hedge_after_ms":    float64(stragglerHedge) / float64(time.Millisecond),
+			"queries_per_mode":  stragglerQueries,
+			"unhedged_p50_ms":   float64(up50) / float64(time.Millisecond),
+			"unhedged_p99_ms":   float64(up99) / float64(time.Millisecond),
+			"hedged_p50_ms":     float64(hp50) / float64(time.Millisecond),
+			"hedged_p99_ms":     float64(hp99) / float64(time.Millisecond),
+			"hedges_won":        hedgesWon,
+		}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+			t.Fatalf("writing %s: %v", out, err)
+		}
+		t.Logf("wrote %s", out)
+	}
+}
+
+// BenchmarkStragglerScatter reports the same comparison in benchmark
+// form: ns/op with one slow shard of eight, hedging off vs on.
+func BenchmarkStragglerScatter(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		pol  Policy
+	}{
+		{"unhedged", Policy{}},
+		{"hedged", Policy{HedgeAfter: stragglerHedge}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			sdb, q, _ := stragglerFixture(b)
+			sdb.SetPolicy(mode.pol)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sdb.SearchCtx(context.Background(), q, 0.25); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -12,8 +13,8 @@ import (
 // ShardStats pairs a shard index with the statistics its local search
 // produced, so callers can spot skewed shards.
 type ShardStats struct {
-	Shard int
-	Stats core.SearchStats
+	Shard int              // shard index within the ShardedDB
+	Stats core.SearchStats // that shard's local search statistics
 }
 
 // Search runs the three-phase range search on every shard concurrently
@@ -23,7 +24,16 @@ type ShardStats struct {
 // global id order. Merged stats sum the per-shard counters; phase times
 // are the slowest shard's (phases overlap in wall-clock).
 func (s *ShardedDB) Search(q *core.Sequence, eps float64) ([]core.Match, core.SearchStats, error) {
-	matches, st, _, err := s.SearchShards(q, eps)
+	return s.SearchCtx(context.Background(), q, eps)
+}
+
+// SearchCtx is Search under a caller context: the deadline (or a client
+// disconnect) propagates into every per-shard search, and the per-shard
+// calls run under the fault-tolerance Policy in force — timeout, retry,
+// hedging, and (with AllowPartial) graceful degradation to a result
+// flagged Partial.
+func (s *ShardedDB) SearchCtx(ctx context.Context, q *core.Sequence, eps float64) ([]core.Match, core.SearchStats, error) {
+	matches, st, _, err := s.scatterSearch(ctx, q, eps, 0)
 	return matches, st, err
 }
 
@@ -31,24 +41,46 @@ func (s *ShardedDB) Search(q *core.Sequence, eps float64) ([]core.Match, core.Se
 // scatter already supplies the parallelism (bounded by workers when > 0),
 // so each shard runs its serial search; results equal Search exactly.
 func (s *ShardedDB) SearchParallel(q *core.Sequence, eps float64, workers int) ([]core.Match, core.SearchStats, error) {
-	matches, st, _, err := s.scatterSearch(q, eps, workers)
+	matches, st, _, err := s.scatterSearch(context.Background(), q, eps, workers)
 	return matches, st, err
 }
 
 // SearchShards is Search plus the per-shard statistics.
 func (s *ShardedDB) SearchShards(q *core.Sequence, eps float64) ([]core.Match, core.SearchStats, []ShardStats, error) {
-	return s.scatterSearch(q, eps, 0)
+	return s.scatterSearch(context.Background(), q, eps, 0)
 }
 
-func (s *ShardedDB) scatterSearch(q *core.Sequence, eps float64, workers int) ([]core.Match, core.SearchStats, []ShardStats, error) {
+// SearchShardsCtx is SearchShards under a caller context (see SearchCtx).
+// On a partial answer the returned slice holds only the shards that
+// answered, so its Shard fields are the authoritative list of shards the
+// result covers.
+func (s *ShardedDB) SearchShardsCtx(ctx context.Context, q *core.Sequence, eps float64) ([]core.Match, core.SearchStats, []ShardStats, error) {
+	return s.scatterSearch(ctx, q, eps, 0)
+}
+
+// searchReply carries one shard's range-search answer through robustCall.
+type searchReply struct {
+	matches []core.Match
+	stats   core.SearchStats
+}
+
+// scatterSearch fans the query out under the current Policy and gathers.
+// Shard failures either fail the query (the first failing shard's error,
+// fail-fast) or — with Policy.AllowPartial — drop that shard from the
+// merge and flag the result Partial. The merged stats always carry
+// ShardsAnswered so callers can tell a complete answer from a degraded
+// one without consulting the per-shard slice.
+func (s *ShardedDB) scatterSearch(ctx context.Context, q *core.Sequence, eps float64, workers int) ([]core.Match, core.SearchStats, []ShardStats, error) {
 	n := len(s.shards)
+	pol := s.Policy()
+	met := s.metrics()
 	if workers <= 0 || workers > n {
 		workers = scatterWorkers(n)
 	}
 	type result struct {
 		matches []core.Match
 		stats   core.SearchStats
-		wall    time.Duration // launch-to-result, queueing included
+		wall    time.Duration // launch-to-result, queueing + retries included
 		err     error
 	}
 	results := make([]result, n)
@@ -61,39 +93,62 @@ func (s *ShardedDB) scatterSearch(q *core.Sequence, eps float64, workers int) ([
 			t0 := time.Now()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			m, st, err := s.shards[i].Search(q, eps)
-			results[i] = result{matches: m, stats: st, wall: time.Since(t0), err: err}
+			b := s.backend(i)
+			rep, err := robustCall(ctx, pol, met, func(actx context.Context) (searchReply, error) {
+				m, st, err := b.SearchCtx(actx, q, eps)
+				return searchReply{matches: m, stats: st}, err
+			})
+			results[i] = result{matches: rep.matches, stats: rep.stats, wall: time.Since(t0), err: err}
 		}(i)
 	}
 	wg.Wait()
 
 	var merged core.SearchStats
-	perShard := make([]ShardStats, n)
+	perShard := make([]ShardStats, 0, n)
 	var out []core.Match
+	var firstErr error
 	for i, r := range results {
 		if r.err != nil {
-			return nil, merged, nil, fmt.Errorf("shard: shard %d: %w", i, r.err)
+			if !pol.AllowPartial {
+				return nil, merged, nil, fmt.Errorf("shard: shard %d: %w", i, r.err)
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard: shard %d: %w", i, r.err)
+			}
+			continue
 		}
 		for _, m := range r.matches {
 			m.SeqID = s.globalID(i, m.SeqID)
 			out = append(out, m)
 		}
-		perShard[i] = ShardStats{Shard: i, Stats: r.stats}
+		perShard = append(perShard, ShardStats{Shard: i, Stats: r.stats})
 		mergeStats(&merged, r.stats)
 	}
+	merged.ShardsAnswered = len(perShard)
+	merged.Partial = len(perShard) < n
+	if len(perShard) == 0 {
+		// Nothing answered: an "empty partial" would be indistinguishable
+		// from a genuinely empty corpus, so total failure stays an error.
+		return nil, merged, nil, firstErr
+	}
 	sort.Slice(out, func(a, b int) bool { return out[a].SeqID < out[b].SeqID })
-	if m := s.metrics(); m != nil {
+	if met != nil {
 		durs := make([]time.Duration, n)
 		for i, r := range results {
 			durs[i] = r.wall
 		}
-		m.recordScatter(merged, durs)
+		met.recordScatter(merged, durs)
 	}
 	return out, merged, perShard, nil
 }
 
-// mergeStats folds one shard's stats into the merged view. The semantics,
-// explicitly:
+// mergeStats folds one shard's stats into the merged view. On a partial
+// gather only the answered shards are folded, so every rule below reads
+// "over the answered shards": the pruning ratios stay exact for the
+// corpus slice the answer actually covers, and Total()/CPUTime describe
+// only work that contributed to the result. The gather layer — not
+// mergeStats — stamps Partial and ShardsAnswered afterwards. The
+// semantics, explicitly:
 //
 //   - Counters (TotalSequences, CandidatesDmbr, MatchesDnorm,
 //     IndexEntriesHit, DnormEvals) sum — they are disjoint per-shard work,

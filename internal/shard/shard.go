@@ -17,6 +17,18 @@
 // kNN gathers per-shard top-k lists and merges to the global top k,
 // optionally seeding later-starting shards with the running k-th distance
 // as a tighter refinement bound (see SearchKNN).
+//
+// The query path is fault-tolerant under a Policy: context deadlines
+// propagate from the caller through the scatter into every per-shard
+// search, each shard call gets a per-attempt timeout with bounded
+// retry-and-backoff and an optional hedged second request for
+// stragglers, and — with Policy.AllowPartial — a shard that exhausts its
+// attempts is skipped and the merged answer is flagged partial
+// (SearchStats.Partial, SearchStats.ShardsAnswered) instead of failing
+// the whole query. Per-shard calls go through the Backend interface so
+// the FaultDB harness can inject latency, errors, and hangs
+// deterministically in tests. The zero Policy reproduces the original
+// fail-fast scatter exactly.
 package shard
 
 import (
@@ -43,6 +55,10 @@ type ShardedDB struct {
 	shards []*core.Database
 	opts   core.Options
 	met    atomic.Pointer[shardMetrics] // nil until SetMetrics
+	pol    atomic.Pointer[Policy]       // nil until SetPolicy (zero policy)
+
+	bmu      sync.RWMutex
+	backends []Backend // per-shard query targets; default the shards themselves
 }
 
 // New creates a ShardedDB of n empty shards, each configured with opts.
@@ -68,7 +84,32 @@ func New(opts core.Options, n int) (*ShardedDB, error) {
 		}
 		s.shards[i] = db
 	}
+	s.backends = make([]Backend, n)
+	for i, db := range s.shards {
+		s.backends[i] = db
+	}
 	return s, nil
+}
+
+// SetShardBackend substitutes shard i's query backend (nil restores the
+// shard's own database). The substitution affects only the query path —
+// Search/SearchKNN scatters — never writes or lookups. It exists for the
+// fault-injection harness (FaultDB) and tests; a production deployment
+// leaves the defaults in place. Safe to call while queries are in flight.
+func (s *ShardedDB) SetShardBackend(i int, b Backend) {
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	if b == nil {
+		b = s.shards[i]
+	}
+	s.backends[i] = b
+}
+
+// backend returns shard i's current query target.
+func (s *ShardedDB) backend(i int) Backend {
+	s.bmu.RLock()
+	defer s.bmu.RUnlock()
+	return s.backends[i]
 }
 
 // ShardFor returns the shard index the placement rule assigns to label.

@@ -184,6 +184,14 @@ type Store = shard.DB
 // ShardStats pairs a shard index with its local search statistics.
 type ShardStats = shard.ShardStats
 
+// ShardPolicy configures the fault tolerance of the sharded query path:
+// per-shard timeouts, bounded retry with backoff, hedged requests for
+// stragglers, and graceful degradation to results flagged partial
+// (SearchStats.Partial / SearchStats.ShardsAnswered). Install it with
+// ShardedDB.SetPolicy; the zero value keeps the original fail-fast
+// scatter.
+type ShardPolicy = shard.Policy
+
 // OpenSharded creates a database of n hash shards, each configured with
 // opts (with Options.Path set, shard i uses "<path>.shard<i>").
 func OpenSharded(opts Options, n int) (*ShardedDB, error) { return shard.New(opts, n) }
