@@ -1,0 +1,264 @@
+// Package cache is a sharded, epoch-invalidated LRU for query results.
+//
+// The similarity-search workloads of the paper's motivating applications
+// (video streams, image archives) repeat queries heavily, and every phase
+// of the three-phase search — query segmentation, R*-tree probing, Dnorm
+// refinement — is pure with respect to the corpus. A result computed at
+// corpus version E is therefore exactly reusable until the next write.
+// This package captures that with a write epoch: the owning database
+// keeps a monotonically increasing epoch counter, bumps it on every
+// Add/Remove/Append, and passes the value it observed *before* running a
+// query into Put. Get compares the stored epoch against the database's
+// current one; any mismatch is a miss (and lazily evicts the stale
+// entry), so a single atomic increment invalidates the whole cache
+// without the writer ever touching cache locks or readers blocking on
+// the writer.
+//
+// The store itself is a fixed-capacity LRU sharded across independently
+// locked segments (FNV fingerprints spread keys uniformly), with both an
+// entry cap and an approximate byte cap so operators can bound memory,
+// not just object count. Keys are 128-bit fingerprints of the query
+// material (points, ε, partitioning parameters, query kind), computed by
+// the caller; with 2^128 key space, accidental collisions are beyond
+// reach of any realistic workload, so the cache never stores the raw
+// query for verification.
+//
+// Partial results (a sharded scatter that degraded to a subset of
+// shards) are never cached: a partial answer reflects one scatter's
+// failures, not a property of the key, and serving it later could mask a
+// now-healthy shard. Put refuses values flagged Partial.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Key is a 128-bit query fingerprint. Callers build it from everything
+// that determines a result: the query points, the threshold, the
+// partitioning parameters, and a tag for the query kind (range / kNN /
+// batch member). Two independent 64-bit FNV-1a streams keep the
+// collision probability negligible without storing query material.
+type Key struct {
+	// Hi and Lo are the two independent hash streams.
+	Hi, Lo uint64
+}
+
+// Value is one cached query result with its cost accounting.
+type Value struct {
+	// Data is the cached result (matches, kNN lists, merged scatter
+	// answers — opaque to the cache). Consumers must treat it as
+	// read-only: the same value is handed to every hit.
+	Data any
+	// Bytes is the approximate retained size of Data, charged against
+	// Config.MaxBytes. Zero-byte values are legal but weaken the byte
+	// cap; callers should estimate honestly.
+	Bytes int
+	// Partial marks a degraded scatter-gather result. Put refuses
+	// partial values — see the package comment.
+	Partial bool
+}
+
+// Config sizes a Cache.
+type Config struct {
+	// MaxEntries caps the number of cached results across all lock
+	// shards (0 → DefaultMaxEntries). The cap is enforced per shard
+	// (MaxEntries/Shards each), so it is approximate under skew.
+	MaxEntries int
+	// MaxBytes caps the summed Value.Bytes across all lock shards
+	// (0 → DefaultMaxBytes). Enforced per shard, like MaxEntries.
+	MaxBytes int64
+	// Shards is the lock-shard count (0 → DefaultShards; rounded up to
+	// a power of two). More shards means less contention under
+	// concurrent queries at a small fixed memory cost.
+	Shards int
+}
+
+// Defaults for the zero Config.
+const (
+	// DefaultMaxEntries is the entry cap when Config.MaxEntries is 0.
+	DefaultMaxEntries = 4096
+	// DefaultMaxBytes is the byte cap when Config.MaxBytes is 0 (64 MiB).
+	DefaultMaxBytes = 64 << 20
+	// DefaultShards is the lock-shard count when Config.Shards is 0.
+	DefaultShards = 16
+)
+
+// withDefaults resolves zero fields and normalizes the shard count.
+func (c Config) withDefaults() Config {
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = DefaultMaxEntries
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = DefaultMaxBytes
+	}
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	n := 1
+	for n < c.Shards {
+		n <<= 1
+	}
+	c.Shards = n
+	return c
+}
+
+// Cache is a sharded LRU of epoch-stamped query results, safe for
+// concurrent use. The zero Cache is not usable; construct with New.
+type Cache struct {
+	cfg    Config
+	shards []lockShard
+	mask   uint64
+
+	entries atomic.Int64 // live entries across shards
+	bytes   atomic.Int64 // summed Value.Bytes across shards
+	met     atomic.Pointer[Metrics]
+}
+
+// entry is one cached result plus the epoch it was computed under.
+type entry struct {
+	key   Key
+	epoch uint64
+	val   Value
+}
+
+// lockShard is one independently locked LRU segment.
+type lockShard struct {
+	mu         sync.Mutex
+	ll         *list.List // front = most recent; values are *entry
+	items      map[Key]*list.Element
+	bytes      int64
+	maxEntries int
+	maxBytes   int64
+}
+
+// New creates a cache sized by cfg (zero fields take the package
+// defaults).
+func New(cfg Config) *Cache {
+	cfg = cfg.withDefaults()
+	c := &Cache{cfg: cfg, shards: make([]lockShard, cfg.Shards), mask: uint64(cfg.Shards - 1)}
+	perEntries := (cfg.MaxEntries + cfg.Shards - 1) / cfg.Shards
+	if perEntries < 1 {
+		perEntries = 1
+	}
+	perBytes := cfg.MaxBytes / int64(cfg.Shards)
+	if perBytes < 1 {
+		perBytes = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = lockShard{
+			ll:         list.New(),
+			items:      make(map[Key]*list.Element),
+			maxEntries: perEntries,
+			maxBytes:   perBytes,
+		}
+	}
+	return c
+}
+
+// Config returns the resolved configuration (defaults applied, shard
+// count normalized).
+func (c *Cache) Config() Config { return c.cfg }
+
+// shard maps a key to its lock shard.
+func (c *Cache) shard(k Key) *lockShard { return &c.shards[k.Hi&c.mask] }
+
+// Get returns the value cached under k if it was stored at exactly the
+// given epoch. An entry stored under any other epoch is stale: it is
+// evicted on the spot, counted as an invalidation, and reported as a
+// miss.
+func (c *Cache) Get(k Key, epoch uint64) (Value, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	el, ok := s.items[k]
+	if !ok {
+		s.mu.Unlock()
+		c.met.Load().miss()
+		return Value{}, false
+	}
+	e := el.Value.(*entry)
+	if e.epoch != epoch {
+		s.remove(el, c)
+		s.mu.Unlock()
+		m := c.met.Load()
+		m.invalidate()
+		m.miss()
+		return Value{}, false
+	}
+	s.ll.MoveToFront(el)
+	v := e.val
+	s.mu.Unlock()
+	c.met.Load().hit()
+	return v, true
+}
+
+// Put stores v under k, stamped with the epoch the caller observed
+// before computing it. Values flagged Partial, and values larger than a
+// whole lock shard's byte budget, are dropped. An existing entry under k
+// is replaced (freshest epoch wins). Least-recently-used entries are
+// evicted until both shard caps hold.
+func (c *Cache) Put(k Key, epoch uint64, v Value) {
+	if v.Partial {
+		return
+	}
+	s := c.shard(k)
+	if int64(v.Bytes) > s.maxBytes {
+		return
+	}
+	s.mu.Lock()
+	if el, ok := s.items[k]; ok {
+		e := el.Value.(*entry)
+		s.bytes += int64(v.Bytes) - int64(e.val.Bytes)
+		c.bytes.Add(int64(v.Bytes) - int64(e.val.Bytes))
+		e.epoch, e.val = epoch, v
+		s.ll.MoveToFront(el)
+	} else {
+		el := s.ll.PushFront(&entry{key: k, epoch: epoch, val: v})
+		s.items[k] = el
+		s.bytes += int64(v.Bytes)
+		c.bytes.Add(int64(v.Bytes))
+		c.entries.Add(1)
+	}
+	evicted := 0
+	for (s.ll.Len() > s.maxEntries || s.bytes > s.maxBytes) && s.ll.Len() > 1 {
+		s.remove(s.ll.Back(), c)
+		evicted++
+	}
+	s.mu.Unlock()
+	m := c.met.Load()
+	for i := 0; i < evicted; i++ {
+		m.evict()
+	}
+	m.shape(c)
+}
+
+// remove unlinks el from the shard. Caller holds s.mu.
+func (s *lockShard) remove(el *list.Element, c *Cache) {
+	e := el.Value.(*entry)
+	s.ll.Remove(el)
+	delete(s.items, e.key)
+	s.bytes -= int64(e.val.Bytes)
+	c.bytes.Add(-int64(e.val.Bytes))
+	c.entries.Add(-1)
+}
+
+// Len returns the number of live entries across all shards.
+func (c *Cache) Len() int { return int(c.entries.Load()) }
+
+// Bytes returns the summed Value.Bytes of all live entries.
+func (c *Cache) Bytes() int64 { return c.bytes.Load() }
+
+// Purge drops every entry (used by tests and topology changes). Counts
+// nothing into the metrics.
+func (c *Cache) Purge() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for s.ll.Len() > 0 {
+			s.remove(s.ll.Back(), c)
+		}
+		s.mu.Unlock()
+	}
+	c.met.Load().shape(c)
+}

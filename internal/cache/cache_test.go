@@ -1,0 +1,210 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// key builds a distinct Key from an integer, spread across lock shards.
+func key(i int) Key {
+	return Key{Hi: uint64(i) * 0x9e3779b97f4a7c15, Lo: uint64(i)}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(Config{MaxEntries: 8, MaxBytes: 1 << 20, Shards: 1})
+	k := key(1)
+	if _, ok := c.Get(k, 0); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, 0, Value{Data: "a", Bytes: 10})
+	v, ok := c.Get(k, 0)
+	if !ok || v.Data.(string) != "a" {
+		t.Fatalf("Get = %v, %v; want a, true", v.Data, ok)
+	}
+	if c.Len() != 1 || c.Bytes() != 10 {
+		t.Fatalf("Len=%d Bytes=%d; want 1, 10", c.Len(), c.Bytes())
+	}
+}
+
+func TestEpochMismatchInvalidates(t *testing.T) {
+	c := New(Config{MaxEntries: 8, Shards: 1})
+	k := key(1)
+	c.Put(k, 3, Value{Data: "old", Bytes: 4})
+	if _, ok := c.Get(k, 4); ok {
+		t.Fatal("served an entry from a past epoch")
+	}
+	// The stale entry must have been dropped, not just skipped.
+	if c.Len() != 0 {
+		t.Fatalf("stale entry retained: Len=%d", c.Len())
+	}
+	// An entry stamped "newer" than the asked-for epoch is equally stale
+	// (the asking database can only have moved forward; a mismatch in
+	// either direction means the entry answers a different corpus).
+	c.Put(k, 9, Value{Data: "new", Bytes: 4})
+	if _, ok := c.Get(k, 8); ok {
+		t.Fatal("served an entry from a different epoch")
+	}
+}
+
+func TestPartialNeverCached(t *testing.T) {
+	c := New(Config{Shards: 1})
+	k := key(1)
+	c.Put(k, 0, Value{Data: "partial", Bytes: 4, Partial: true})
+	if _, ok := c.Get(k, 0); ok {
+		t.Fatal("partial value was cached")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len=%d after refused Put; want 0", c.Len())
+	}
+}
+
+func TestEntryCapEvictsLRU(t *testing.T) {
+	c := New(Config{MaxEntries: 3, MaxBytes: 1 << 20, Shards: 1})
+	for i := 0; i < 3; i++ {
+		c.Put(key(i), 0, Value{Data: i, Bytes: 1})
+	}
+	c.Get(key(0), 0) // refresh 0 so 1 is now the LRU
+	c.Put(key(3), 0, Value{Data: 3, Bytes: 1})
+	if c.Len() != 3 {
+		t.Fatalf("Len=%d; want 3", c.Len())
+	}
+	if _, ok := c.Get(key(1), 0); ok {
+		t.Fatal("LRU entry 1 survived eviction")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.Get(key(i), 0); !ok {
+			t.Fatalf("entry %d evicted out of LRU order", i)
+		}
+	}
+}
+
+func TestByteCapEvicts(t *testing.T) {
+	c := New(Config{MaxEntries: 100, MaxBytes: 100, Shards: 1})
+	for i := 0; i < 10; i++ {
+		c.Put(key(i), 0, Value{Data: i, Bytes: 30})
+	}
+	if c.Bytes() > 100 {
+		t.Fatalf("Bytes=%d exceeds the 100-byte cap", c.Bytes())
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len=%d; want 3 (3×30 ≤ 100 < 4×30)", c.Len())
+	}
+	// An oversized value is refused outright.
+	c.Put(key(99), 0, Value{Data: "huge", Bytes: 1000})
+	if _, ok := c.Get(key(99), 0); ok {
+		t.Fatal("value above the byte cap was cached")
+	}
+}
+
+func TestUpdateExistingKeyAdjustsBytes(t *testing.T) {
+	c := New(Config{MaxEntries: 8, MaxBytes: 1 << 20, Shards: 1})
+	k := key(1)
+	c.Put(k, 0, Value{Data: "a", Bytes: 10})
+	c.Put(k, 1, Value{Data: "b", Bytes: 30})
+	if c.Len() != 1 || c.Bytes() != 30 {
+		t.Fatalf("Len=%d Bytes=%d; want 1, 30", c.Len(), c.Bytes())
+	}
+	if v, ok := c.Get(k, 1); !ok || v.Data.(string) != "b" {
+		t.Fatalf("Get = %v, %v; want b under epoch 1", v.Data, ok)
+	}
+}
+
+func TestMetricsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Config{MaxEntries: 2, Shards: 1})
+	c.SetMetrics(NewMetrics(reg, "test"))
+	l := obs.Label{Key: "cache", Value: "test"}
+
+	c.Get(key(1), 0)                         // miss
+	c.Put(key(1), 0, Value{Bytes: 1})        //
+	c.Get(key(1), 0)                         // hit
+	c.Get(key(1), 7)                         // invalidation + miss
+	c.Put(key(1), 0, Value{Bytes: 1})        //
+	c.Put(key(2), 0, Value{Bytes: 1})        //
+	c.Put(key(3), 0, Value{Bytes: 1})        // evicts key(1)
+
+	check := func(name string, want uint64) {
+		t.Helper()
+		if got := reg.Counter(name, "", l).Value(); got != want {
+			t.Errorf("%s = %d; want %d", name, got, want)
+		}
+	}
+	check("mdseq_cache_hits_total", 1)
+	check("mdseq_cache_misses_total", 2)
+	check("mdseq_cache_invalidations_total", 1)
+	check("mdseq_cache_evictions_total", 1)
+	if got := reg.Gauge("mdseq_cache_entries", "", l).Value(); got != 2 {
+		t.Errorf("mdseq_cache_entries = %g; want 2", got)
+	}
+	if got := reg.Gauge("mdseq_cache_hit_ratio", "", l).Value(); got != 1.0/3.0 {
+		t.Errorf("mdseq_cache_hit_ratio = %g; want 1/3", got)
+	}
+}
+
+// TestConcurrentCapsHold hammers one cache from many goroutines with
+// distinct keys and checks (under -race) that the caps hold both during
+// and after the storm. Caps are per lock shard, so the cross-shard total
+// may not exceed the configured maxima.
+func TestConcurrentCapsHold(t *testing.T) {
+	cfg := Config{MaxEntries: 64, MaxBytes: 64 * 100, Shards: 4}
+	c := New(cfg)
+	c.SetMetrics(NewMetrics(obs.NewRegistry(), "race"))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := key(w*1000 + i)
+				c.Put(k, uint64(i%3), Value{Data: i, Bytes: 100})
+				c.Get(k, uint64(i%3))
+				c.Get(key(i), uint64(i%2))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > cfg.MaxEntries {
+		t.Fatalf("entry cap breached: Len=%d > %d", c.Len(), cfg.MaxEntries)
+	}
+	if c.Bytes() > cfg.MaxBytes {
+		t.Fatalf("byte cap breached: Bytes=%d > %d", c.Bytes(), cfg.MaxBytes)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New(Config{Shards: 2})
+	for i := 0; i < 10; i++ {
+		c.Put(key(i), 0, Value{Bytes: 5})
+	}
+	c.Purge()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("after Purge: Len=%d Bytes=%d; want 0, 0", c.Len(), c.Bytes())
+	}
+}
+
+func TestShardCountNormalized(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, DefaultShards}, {1, 1}, {3, 4}, {16, 16}, {17, 32}} {
+		if got := New(Config{Shards: tc.in}).Config().Shards; got != tc.want {
+			t.Errorf("Shards %d normalized to %d; want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func ExampleCache() {
+	c := New(Config{MaxEntries: 128})
+	k := Key{Hi: 1, Lo: 2}
+	epoch := uint64(0) // snapshot the database epoch before computing
+	c.Put(k, epoch, Value{Data: "result", Bytes: 6})
+	if v, ok := c.Get(k, epoch); ok {
+		fmt.Println(v.Data)
+	}
+	if _, ok := c.Get(k, epoch+1); !ok { // a write advanced the epoch
+		fmt.Println("stale")
+	}
+	// Output:
+	// result
+	// stale
+}

@@ -67,5 +67,6 @@ func (db *Database) AppendPoints(id uint32, pts []geom.Point) error {
 		}
 		g.MBRs = append(g.MBRs, mbr)
 	}
+	db.bumpEpoch()
 	return nil
 }

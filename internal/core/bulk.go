@@ -54,6 +54,7 @@ func (db *Database) AddAll(seqs []*Sequence) ([]uint32, error) {
 			db.live++
 			ids[i] = id
 		}
+		db.bumpEpoch()
 		db.met.RecordBulkAdd(len(seqs))
 		db.met.SetShape(db.live, db.tree.Len())
 		return ids, nil
@@ -99,6 +100,7 @@ func (db *Database) AddAll(seqs []*Sequence) ([]uint32, error) {
 	}
 	db.seqs = segs
 	db.live = len(segs)
+	db.bumpEpoch()
 	db.met.RecordBulkAdd(len(seqs))
 	db.met.SetShape(db.live, db.tree.Len())
 	return ids, nil

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/cache"
+)
+
+// Query-kind tags folded into cache fingerprints so a range search, a
+// kNN query, and any future cached shape with identical point material
+// can never alias each other.
+const (
+	fpKindRange = 0x52 // 'R': three-phase range search (serial, parallel, batch member)
+	fpKindKNN   = 0x4b // 'K': unbounded k-nearest-sequences query
+)
+
+// fp accumulates the two independent 64-bit hash streams behind a
+// cache.Key. Stream 1 is FNV-1a; stream 2 runs the same xor-multiply
+// scheme with a different offset basis and multiplier, so a collision in
+// one stream is independent of the other.
+type fp struct{ h1, h2 uint64 }
+
+// newFP seeds both streams.
+func newFP() fp {
+	return fp{h1: 14695981039346656037, h2: 9650029242287828579}
+}
+
+// byte folds one byte into both streams.
+func (f *fp) byte(b byte) {
+	f.h1 = (f.h1 ^ uint64(b)) * 1099511628211
+	f.h2 = (f.h2 ^ uint64(b)) * 0x9E3779B185EBCA87
+}
+
+// word folds one 64-bit word, little-endian.
+func (f *fp) word(v uint64) {
+	for i := 0; i < 8; i++ {
+		f.byte(byte(v))
+		v >>= 8
+	}
+}
+
+// float folds one float64 by bit pattern (so -0 and 0 hash differently,
+// which only makes the key stricter).
+func (f *fp) float(v float64) { f.word(math.Float64bits(v)) }
+
+// key finalizes the fingerprint.
+func (f *fp) key() cache.Key { return cache.Key{Hi: f.h1, Lo: f.h2} }
+
+// queryFingerprint builds the cache key for a query: kind tag, threshold
+// (or k, via extra), the partitioning parameters that shape phase 1, and
+// every query coordinate. Everything that can change the result is in
+// the key; the corpus version is handled separately by the epoch.
+func queryFingerprint(kind byte, q *Sequence, eps float64, cfg PartitionConfig, extra uint64) cache.Key {
+	f := newFP()
+	f.byte(kind)
+	f.float(eps)
+	f.float(cfg.QueryExtent)
+	f.word(uint64(cfg.MaxPoints))
+	f.word(extra)
+	f.word(uint64(q.Len()))
+	f.word(uint64(q.Dim()))
+	for _, p := range q.Points {
+		for _, v := range p {
+			f.float(v)
+		}
+	}
+	return f.key()
+}
+
+// RangeCacheKey returns the fingerprint a range query's result is cached
+// under — the key shared by the serial, parallel, and batch paths. The
+// scatter layer uses it to key its merged-result cache with the same
+// material (its config mirrors every shard's).
+func RangeCacheKey(q *Sequence, eps float64, cfg PartitionConfig) cache.Key {
+	return queryFingerprint(fpKindRange, q, eps, cfg, 0)
+}
+
+// KNNCacheKey returns the fingerprint an unbounded kNN query's result is
+// cached under.
+func KNNCacheKey(q *Sequence, k int, cfg PartitionConfig) cache.Key {
+	return queryFingerprint(fpKindKNN, q, 0, cfg, uint64(k))
+}
+
+// cachedRange is the memoized product of one range search: the match
+// slice exactly as returned (treated as read-only by every consumer) and
+// the stats of the run that computed it.
+type cachedRange struct {
+	matches []Match
+	stats   SearchStats
+}
+
+// cachedKNN is the memoized product of one unbounded kNN query. Results
+// are copied on every hit because scatter-gather callers rewrite SeqID
+// in place when mapping local ids to global ones.
+type cachedKNN struct{ results []KNNResult }
+
+// approxRangeBytes estimates the retained size of a cached range result
+// for the cache's byte cap: slice headers and fixed fields plus the
+// interval ranges. Sequences are not charged — they are owned by the
+// database and shared, not retained by the cache.
+func approxRangeBytes(ms []Match) int {
+	n := 160 // entry, stats, slice header
+	for _, m := range ms {
+		n += 64 + 16*len(m.Interval.Ranges())
+	}
+	return n
+}
+
+// approxKNNBytes estimates the retained size of a cached kNN result.
+func approxKNNBytes(rs []KNNResult) int { return 96 + 40*len(rs) }
+
+// SetCache attaches a query-result cache to the database (nil detaches).
+// Search, SearchParallel, SearchBatch, and SearchKNN consult it before
+// running and fill it after; every write (Add, AddAll, Remove,
+// AppendPoints) advances the database's epoch, which invalidates all
+// prior entries at once without touching the cache. Safe to call while
+// queries are in flight.
+func (db *Database) SetCache(c *cache.Cache) { db.qcache.Store(c) }
+
+// QueryCache returns the attached query cache, or nil.
+func (db *Database) QueryCache() *cache.Cache { return db.qcache.Load() }
+
+// Epoch returns the database's current write epoch: the number of
+// completed write operations. A cached query result is valid exactly
+// when the epoch it was computed under is still current.
+func (db *Database) Epoch() uint64 { return db.epoch.Load() }
+
+// bumpEpoch marks a completed write, invalidating every cached result.
+func (db *Database) bumpEpoch() { db.epoch.Add(1) }
+
+// cacheRef is a resolved cache slot for one query: the cache (nil when
+// none is attached), the key, and the epoch snapshotted *before* the
+// query ran. Storing under a pre-query epoch is what makes a concurrent
+// write safe: if a write lands during the search, the entry's epoch is
+// already behind and the entry can never be served.
+type cacheRef struct {
+	c     *cache.Cache
+	key   cache.Key
+	epoch uint64
+}
+
+// rangeRef resolves the cache slot for a range query (shared by the
+// serial, parallel, and batch paths — their results are identical by
+// construction, so they share entries).
+func (db *Database) rangeRef(q *Sequence, eps float64) cacheRef {
+	c := db.qcache.Load()
+	if c == nil {
+		return cacheRef{}
+	}
+	return cacheRef{c: c, key: queryFingerprint(fpKindRange, q, eps, db.opts.Partition, 0), epoch: db.epoch.Load()}
+}
+
+// knnRef resolves the cache slot for an unbounded kNN query.
+func (db *Database) knnRef(q *Sequence, k int) cacheRef {
+	c := db.qcache.Load()
+	if c == nil {
+		return cacheRef{}
+	}
+	return cacheRef{c: c, key: queryFingerprint(fpKindKNN, q, 0, db.opts.Partition, uint64(k)), epoch: db.epoch.Load()}
+}
+
+// getRange returns the cached result for this slot, stats flagged
+// CacheHit, with the hit's (near-zero) latency in Phase timings left as
+// the original run's — callers read them as "the cost this answer
+// represents", not "the cost of this call".
+func (r cacheRef) getRange() ([]Match, SearchStats, bool) {
+	if r.c == nil {
+		return nil, SearchStats{}, false
+	}
+	v, ok := r.c.Get(r.key, r.epoch)
+	if !ok {
+		return nil, SearchStats{}, false
+	}
+	cr := v.Data.(*cachedRange)
+	st := cr.stats
+	st.CacheHit = true
+	return cr.matches, st, true
+}
+
+// putRange stores a completed range search under the pre-query epoch.
+// Partial results are refused by the cache itself (defense in depth;
+// single-node searches are never partial).
+func (r cacheRef) putRange(ms []Match, st SearchStats) {
+	if r.c == nil {
+		return
+	}
+	r.c.Put(r.key, r.epoch, cache.Value{
+		Data:    &cachedRange{matches: ms, stats: st},
+		Bytes:   approxRangeBytes(ms),
+		Partial: st.Partial,
+	})
+}
+
+// getKNN returns a copy of the cached kNN result for this slot.
+func (r cacheRef) getKNN() ([]KNNResult, bool) {
+	if r.c == nil {
+		return nil, false
+	}
+	v, ok := r.c.Get(r.key, r.epoch)
+	if !ok {
+		return nil, false
+	}
+	return append([]KNNResult(nil), v.Data.(*cachedKNN).results...), true
+}
+
+// putKNN stores a completed kNN query under the pre-query epoch. The
+// slice is copied so later in-place edits by the caller (global-id
+// rewriting in the scatter layer) cannot corrupt the entry.
+func (r cacheRef) putKNN(rs []KNNResult) {
+	if r.c == nil {
+		return
+	}
+	rs = append([]KNNResult(nil), rs...)
+	r.c.Put(r.key, r.epoch, cache.Value{Data: &cachedKNN{results: rs}, Bytes: approxKNNBytes(rs)})
+}

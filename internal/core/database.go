@@ -7,8 +7,10 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/geom"
 	"repro/internal/pager"
 	"repro/internal/rtree"
@@ -46,6 +48,12 @@ type Database struct {
 	seqs []*Segmented // seqs[id] — ids are dense, assigned by Add; nil = removed
 	live int          // number of non-nil entries in seqs
 	met  *Metrics     // nil until SetMetrics; all methods no-op on nil
+
+	// epoch counts completed writes; qcache (nil until SetCache) holds
+	// query results stamped with the epoch they were computed under, so
+	// one atomic increment invalidates everything (see internal/cache).
+	epoch  atomic.Uint64
+	qcache atomic.Pointer[cache.Cache]
 }
 
 // ErrUnknownSequence is returned by Remove for absent or already-removed
@@ -205,6 +213,7 @@ func (db *Database) Add(s *Sequence) (uint32, error) {
 	}
 	db.seqs = append(db.seqs, g)
 	db.live++
+	db.bumpEpoch()
 	db.met.RecordAdd(time.Since(t0))
 	db.met.SetShape(db.live, db.tree.Len())
 	return id, nil
@@ -229,6 +238,7 @@ func (db *Database) Remove(id uint32) error {
 	}
 	db.seqs[id] = nil
 	db.live--
+	db.bumpEpoch()
 	db.met.SetShape(db.live, db.tree.Len())
 	return nil
 }
@@ -327,12 +337,20 @@ type SearchStats struct {
 	Phase2          time.Duration // index pruning by Dmbr
 	Phase3          time.Duration // Dnorm pruning + interval assembly
 	// CPUTime is the summed duration of every phase execution behind this
-	// stats value. For a single-node search it equals Total(); for a
-	// merged scatter-gather result it sums across shards while Phase1–3
-	// keep the slowest shard's value (phases overlap in wall-clock; see
-	// shard.mergeStats), so CPUTime/Total() reads as the scatter's
-	// effective parallelism.
+	// stats value. For a serial single-node search it equals Total(); for
+	// a parallel search it is Phase1+Phase2 plus the summed per-worker
+	// phase-3 compute (so it exceeds Total() whenever the workers
+	// actually overlapped); for a merged scatter-gather result it sums
+	// across shards while Phase1–3 keep the slowest shard's value (phases
+	// overlap in wall-clock; see shard.mergeStats). CPUTime/Total() reads
+	// as the query's effective parallelism.
 	CPUTime time.Duration
+	// CacheHit is true when this result was served from the query cache
+	// (SetCache) instead of being computed. The counters and phase
+	// timings are then those of the run that originally produced the
+	// entry — "the cost this answer represents", not the cost of this
+	// call.
+	CacheHit bool
 	// Partial is true when this result was assembled from fewer shards
 	// than exist — some shard missed its deadline or failed and the
 	// scatter was configured to degrade instead of erroring. A partial
@@ -380,6 +398,13 @@ func (db *Database) SearchCtx(ctx context.Context, q *Sequence, eps float64) ([]
 	}
 	if eps < 0 {
 		return nil, st, fmt.Errorf("core: negative threshold %g", eps)
+	}
+	// Cache lookup. The epoch is snapshotted here, before the read lock:
+	// any write that lands after this point bumps the epoch past the
+	// snapshot, so the entry we might store below can never be served.
+	ref := db.rangeRef(q, eps)
+	if ms, cst, ok := ref.getRange(); ok {
+		return ms, cst, nil
 	}
 
 	db.mu.RLock()
@@ -448,6 +473,7 @@ func (db *Database) SearchCtx(ctx context.Context, q *Sequence, eps float64) ([]
 	st.Phase3 = time.Since(t2)
 	st.CPUTime = st.Total()
 	db.met.RecordSearch(st)
+	ref.putRange(out, st)
 	return out, st, nil
 }
 

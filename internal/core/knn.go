@@ -65,6 +65,16 @@ func (db *Database) SearchKNNBoundedCtx(ctx context.Context, q *Sequence, k int,
 	if k <= 0 {
 		return nil, nil
 	}
+	// Only unbounded queries are cached: a bound is caller state (the
+	// scatter layer's running k-th best), not part of the query, so keying
+	// on it would fragment the cache for results that are strict subsets.
+	var ref cacheRef
+	if math.IsInf(bound, 1) {
+		ref = db.knnRef(q, k)
+		if rs, ok := ref.getKNN(); ok {
+			return rs, nil
+		}
+	}
 
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -130,6 +140,7 @@ func (db *Database) SearchKNNBoundedCtx(ctx context.Context, q *Sequence, k int,
 		}
 	}
 	db.met.RecordKNN(time.Since(t0), refined, candidates-refined)
+	ref.putKNN(out)
 	return out, nil
 }
 

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
@@ -16,8 +18,20 @@ import (
 // (large ε, large corpora), and its per-candidate work is independent and
 // read-only, so it parallelizes cleanly. workers <= 0 uses GOMAXPROCS.
 // Results and statistics are identical to Search (same order, same
-// matches); only the wall-clock distribution differs.
+// matches); CPUTime additionally accounts the summed per-worker compute.
 func (db *Database) SearchParallel(q *Sequence, eps float64, workers int) ([]Match, SearchStats, error) {
+	return db.SearchParallelCtx(context.Background(), q, eps, workers)
+}
+
+// SearchParallelCtx is SearchParallel honoring a context deadline or
+// cancellation: the phase 2 loop checks ctx per query MBR, and every
+// phase-3 worker checks it once per cancelCheckEvery candidates — the
+// same granularity as the serial SearchCtx — so cancellation reaches the
+// pool even mid-refinement. The job feeder also watches ctx, so no
+// goroutine blocks once it fires. A canceled search records nothing into
+// the metrics registry and returns ctx's error wrapped the same way
+// SearchCtx wraps it.
+func (db *Database) SearchParallelCtx(ctx context.Context, q *Sequence, eps float64, workers int) ([]Match, SearchStats, error) {
 	var st SearchStats
 	if err := q.Validate(); err != nil {
 		return nil, st, err
@@ -32,11 +46,21 @@ func (db *Database) SearchParallel(q *Sequence, eps float64, workers int) ([]Mat
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// The parallel path produces byte-identical results to the serial
+	// one, so it shares the serial path's cache entries (see SearchCtx
+	// for the epoch-snapshot ordering argument).
+	ref := db.rangeRef(q, eps)
+	if ms, cst, ok := ref.getRange(); ok {
+		return ms, cst, nil
+	}
 
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.pg == nil {
 		return nil, st, errors.New("core: database closed")
+	}
+	if err := searchCanceled(ctx); err != nil {
+		return nil, st, err
 	}
 	st.TotalSequences = db.live
 
@@ -51,6 +75,9 @@ func (db *Database) SearchParallel(q *Sequence, eps float64, workers int) ([]Mat
 	t1 := time.Now()
 	candidates := make(map[uint32]bool)
 	for _, qm := range qseg.MBRs {
+		if err := searchCanceled(ctx); err != nil {
+			return nil, st, err
+		}
 		err := db.tree.WithinDist(qm.Rect, eps, func(it rtree.Item) bool {
 			st.IndexEntriesHit++
 			seqID, _ := it.Ref.Unpack()
@@ -77,25 +104,52 @@ func (db *Database) SearchParallel(q *Sequence, eps float64, workers int) ([]Mat
 		evals int
 	}
 	slots := make([]slot, len(ids))
+	// busyNS accumulates each worker's phase-3 compute so CPUTime can
+	// report the aggregate work the fan-out consumed, not the wall-clock
+	// of the slowest worker (the old st.Total() accounting under-reported
+	// CPU by up to a factor of `workers`).
+	var busyNS atomic.Int64
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var busy time.Duration
+			defer func() { busyNS.Add(int64(busy)) }()
+			done := false
+			n := 0
 			for i := range jobs {
+				if done {
+					continue // drain so the feeder never blocks
+				}
+				if n%cancelCheckEvery == 0 && ctx.Err() != nil {
+					done = true
+					continue
+				}
+				n++
+				jt := time.Now()
 				id := ids[i]
 				m, hit, evals := phase3One(qseg, db.seqs[id], q.Len(), eps)
 				m.SeqID = id
 				slots[i] = slot{m: m, hit: hit, evals: evals}
+				busy += time.Since(jt)
 			}
 		}()
 	}
+feed:
 	for i := range ids {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := searchCanceled(ctx); err != nil {
+		return nil, st, err
+	}
 
 	var out []Match
 	for _, s := range slots {
@@ -106,7 +160,8 @@ func (db *Database) SearchParallel(q *Sequence, eps float64, workers int) ([]Mat
 	}
 	st.MatchesDnorm = len(out)
 	st.Phase3 = time.Since(t2)
-	st.CPUTime = st.Total()
+	st.CPUTime = st.Phase1 + st.Phase2 + time.Duration(busyNS.Load())
 	db.met.RecordSearch(st)
+	ref.putRange(out, st)
 	return out, st, nil
 }

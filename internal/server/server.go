@@ -17,10 +17,18 @@
 //	DELETE /sequences/{id}            remove
 //	POST   /sequences/{id}/append     {points}
 //	POST   /search                    {points, eps, parallel} -> matches
+//	POST   /batch                     {queries:[[...],...], eps} -> per-query matches
 //	POST   /knn                       {points, k} -> neighbors
 //	POST   /explain                   {points, eps} -> per-sequence decisions
 //
 // Points are JSON arrays of coordinate arrays: [[x1,x2,x3], ...].
+//
+// Caching: with a query-result cache attached (mdsserve -cache-entries /
+// -cache-bytes), repeated /search, /batch, and /knn queries are served
+// from an epoch-invalidated cache — any write invalidates all prior
+// entries, so clients never see pre-write results. /search and /batch
+// responses carry an X-Mdseq-Cache header (hit / miss / mixed) and a
+// per-result "cached" field.
 //
 // Observability: with WithMetrics the database is wired into the given
 // registry and /metrics serves it; with WithLogger every request emits a
@@ -113,6 +121,7 @@ func New(db shard.DB, opts ...Option) *Server {
 	s.mux.HandleFunc("DELETE /sequences/{id}", s.handleDelete)
 	s.mux.HandleFunc("POST /sequences/{id}/append", s.handleAppend)
 	s.mux.HandleFunc("POST /search", s.handleSearch)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("POST /knn", s.handleKNN)
 	s.mux.HandleFunc("POST /explain", s.handleExplain)
 	if s.reg != nil {
@@ -168,6 +177,21 @@ type KNNRequest struct {
 	K      int         `json:"k"`
 }
 
+// BatchSearchRequest is the body of POST /batch: several queries sharing
+// one threshold, answered in one batched pass over the database.
+type BatchSearchRequest struct {
+	// Queries holds one point array per query, same format as
+	// SearchRequest.Points.
+	Queries [][][]float64 `json:"queries"`
+	Eps     float64       `json:"eps"`
+}
+
+// BatchSearchResponse is the body returned by POST /batch: one
+// SearchResponse per query, in input order.
+type BatchSearchResponse struct {
+	Results []SearchResponse `json:"results"`
+}
+
 // MatchJSON is one range-search result.
 type MatchJSON struct {
 	ID        uint32   `json:"id"`
@@ -189,6 +213,11 @@ type MatchJSON struct {
 // complete answers from single-node deployments.
 type SearchResponse struct {
 	Matches []MatchJSON `json:"matches"`
+	// Cached is true when the answer was served from the query-result
+	// cache (mdsserve -cache-entries) instead of being computed; the
+	// stats then describe the run that originally produced it. Also
+	// surfaced as the X-Mdseq-Cache response header (hit/miss).
+	Cached bool `json:"cached,omitempty"`
 	// Partial is true when some shards did not contribute to Matches.
 	Partial bool `json:"partial,omitempty"`
 	// ShardsAnswered lists the shard indexes whose results Matches
@@ -373,7 +402,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var perShard []shard.ShardStats
 	t0 := time.Now()
 	if req.Parallel {
-		matches, stats, err = s.db.SearchParallel(q, req.Eps, 0)
+		// Through the Ctx variant: before it existed this path used a
+		// background context, so a client disconnect or request deadline
+		// never reached the parallel workers and a wedged shard could
+		// stall the handler forever.
+		matches, stats, err = s.db.SearchParallelCtx(r.Context(), q, req.Eps, 0)
 	} else if ss, ok := s.db.(shardSearcher); ok {
 		matches, stats, perShard, err = ss.SearchShardsCtx(r.Context(), q, req.Eps)
 	} else {
@@ -393,7 +426,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	tr.AddSpan("refine", stats.Phase3)
 	s.logSlowQuery(r, "search", took, q, req.Eps, 0, stats, perShard)
 
+	resp := searchResponse(matches, stats, perShard)
+	w.Header().Set("X-Mdseq-Cache", cacheHeader(resp.Cached))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// searchResponse converts one search result to its wire form — shared by
+// the single-query and batch handlers.
+func searchResponse(matches []core.Match, stats core.SearchStats, perShard []shard.ShardStats) SearchResponse {
 	resp := SearchResponse{Matches: make([]MatchJSON, len(matches))}
+	resp.Cached = stats.CacheHit
 	resp.Partial = stats.Partial
 	for _, ps := range perShard {
 		resp.ShardsAnswered = append(resp.ShardsAnswered, ps.Shard)
@@ -412,6 +454,72 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	resp.Stats.Phase2Us = stats.Phase2.Microseconds()
 	resp.Stats.Phase3Us = stats.Phase3.Microseconds()
 	resp.Stats.CPUUs = stats.CPUTime.Microseconds()
+	return resp
+}
+
+// cacheHeader renders the X-Mdseq-Cache value for one answer.
+func cacheHeader(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// handleBatch answers POST /batch: several range queries in one request,
+// evaluated by the database's batched search (shared segmentation-cache
+// lookups, merged index probes, one scatter per shard on a sharded
+// deployment). Results come back in input order, each with the same
+// shape as a POST /search response. The X-Mdseq-Cache header summarizes
+// the batch: "hit" (all cached), "miss" (none), or "mixed".
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchSearchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("batch has no queries"))
+		return
+	}
+	qs := make([]*core.Sequence, len(req.Queries))
+	for i, pts := range req.Queries {
+		q, err := toSequence(SequenceJSON{Label: "query", Points: pts})
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+		qs[i] = q
+	}
+	t0 := time.Now()
+	outs, stats, err := s.db.SearchBatchCtx(r.Context(), qs, req.Eps)
+	took := time.Since(t0)
+	if err != nil {
+		httpError(w, queryErrStatus(err), err)
+		return
+	}
+
+	tr := obs.FromContext(r.Context())
+	tr.AddSpan("batch", took)
+
+	// A slow batch is logged as one unit under its first query — the
+	// per-member stats are in the response for finer attribution.
+	s.logSlowQuery(r, "batch", took, qs[0], req.Eps, 0, stats[0], nil)
+
+	resp := BatchSearchResponse{Results: make([]SearchResponse, len(outs))}
+	hits := 0
+	for i := range outs {
+		resp.Results[i] = searchResponse(outs[i], stats[i], nil)
+		if stats[i].CacheHit {
+			hits++
+		}
+	}
+	switch hits {
+	case 0:
+		w.Header().Set("X-Mdseq-Cache", "miss")
+	case len(outs):
+		w.Header().Set("X-Mdseq-Cache", "hit")
+	default:
+		w.Header().Set("X-Mdseq-Cache", "mixed")
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

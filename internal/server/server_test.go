@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/shard"
 )
@@ -289,7 +290,7 @@ func TestHealthz(t *testing.T) {
 func TestOversizedBody(t *testing.T) {
 	s, _ := newTestServer(t)
 	huge := bytes.Repeat([]byte(" "), maxBodyBytes+16)
-	for _, path := range []string{"/sequences", "/sequences/batch", "/sequences/0/append", "/search", "/knn", "/explain"} {
+	for _, path := range []string{"/sequences", "/sequences/batch", "/sequences/0/append", "/search", "/batch", "/knn", "/explain"} {
 		req := httptest.NewRequest("POST", path, bytes.NewReader(huge))
 		rec := httptest.NewRecorder()
 		s.ServeHTTP(rec, req)
@@ -339,6 +340,152 @@ func TestShardedServerEquivalence(t *testing.T) {
 	}
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Errorf("sharded server matches %v, single-node %v", got, want)
+	}
+}
+
+// TestBatchEndpoint checks POST /batch returns, per query and in input
+// order, exactly what POST /search returns — on a single node and on a
+// sharded database.
+func TestBatchEndpoint(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		var s *Server
+		if shards == 1 {
+			s, _ = newTestServer(t)
+		} else {
+			s, _ = newShardedTestServer(t, shards)
+		}
+		rng := rand.New(rand.NewSource(11))
+		var stored [][][]float64
+		for i := 0; i < 12; i++ {
+			pts := walkPoints(rng, 50)
+			stored = append(stored, pts)
+			doJSON(t, s, "POST", "/sequences", SequenceJSON{Label: fmt.Sprintf("s%d", i), Points: pts})
+		}
+		queries := [][][]float64{stored[2][5:35], stored[9][10:40], stored[2][5:35]} // one duplicate
+		rec := doJSON(t, s, "POST", "/batch", BatchSearchRequest{Queries: queries, Eps: 0.08})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("shards=%d batch: %d %s", shards, rec.Code, rec.Body)
+		}
+		var batch BatchSearchResponse
+		json.Unmarshal(rec.Body.Bytes(), &batch)
+		if len(batch.Results) != len(queries) {
+			t.Fatalf("shards=%d: %d results for %d queries", shards, len(batch.Results), len(queries))
+		}
+		for i, q := range queries {
+			rec := doJSON(t, s, "POST", "/search", SearchRequest{Points: q, Eps: 0.08})
+			var solo SearchResponse
+			json.Unmarshal(rec.Body.Bytes(), &solo)
+			if len(solo.Matches) == 0 {
+				t.Fatalf("shards=%d query %d matched nothing; test is vacuous", shards, i)
+			}
+			got, want := fmt.Sprint(batch.Results[i].Matches), fmt.Sprint(solo.Matches)
+			if got != want {
+				t.Errorf("shards=%d query %d: batch %s, solo %s", shards, i, got, want)
+			}
+		}
+	}
+}
+
+func TestBatchEndpointBadRequests(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := doJSON(t, s, "POST", "/batch", BatchSearchRequest{Eps: 0.1})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("empty batch: %d, want 400", rec.Code)
+	}
+	bad := BatchSearchRequest{Queries: [][][]float64{{{0.1, 0.2, 0.3}}, {}}, Eps: 0.1}
+	rec = doJSON(t, s, "POST", "/batch", bad)
+	if rec.Code != http.StatusBadRequest || !bytes.Contains(rec.Body.Bytes(), []byte("query 1")) {
+		t.Errorf("bad member: %d %s, want 400 naming query 1", rec.Code, rec.Body)
+	}
+}
+
+// TestCacheHeaderAndInvalidation drives a cache-enabled server through
+// the ISSUE acceptance story at the HTTP layer: a repeated query is a
+// hit (header + "cached" field), and any write makes every subsequent
+// search a miss again — no pre-write result is ever served.
+func TestCacheHeaderAndInvalidation(t *testing.T) {
+	s, db := newTestServer(t)
+	db.SetCache(cache.New(cache.Config{}))
+	rng := rand.New(rand.NewSource(12))
+	var stored [][][]float64
+	for i := 0; i < 8; i++ {
+		pts := walkPoints(rng, 50)
+		stored = append(stored, pts)
+		doJSON(t, s, "POST", "/sequences", SequenceJSON{Label: fmt.Sprintf("s%d", i), Points: pts})
+	}
+	query := SearchRequest{Points: stored[3][5:35], Eps: 0.08}
+
+	search := func() (SearchResponse, string) {
+		rec := doJSON(t, s, "POST", "/search", query)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("search: %d %s", rec.Code, rec.Body)
+		}
+		var resp SearchResponse
+		json.Unmarshal(rec.Body.Bytes(), &resp)
+		return resp, rec.Header().Get("X-Mdseq-Cache")
+	}
+	first, hdr := search()
+	if first.Cached || hdr != "miss" {
+		t.Errorf("first search: cached=%v header=%q, want fresh miss", first.Cached, hdr)
+	}
+	if len(first.Matches) == 0 {
+		t.Fatal("query matched nothing; test is vacuous")
+	}
+	second, hdr := search()
+	if !second.Cached || hdr != "hit" {
+		t.Errorf("repeat search: cached=%v header=%q, want hit", second.Cached, hdr)
+	}
+	if fmt.Sprint(second.Matches) != fmt.Sprint(first.Matches) {
+		t.Errorf("cached matches differ: %+v vs %+v", second.Matches, first.Matches)
+	}
+
+	// Any write advances the epoch: the next search recomputes.
+	doJSON(t, s, "POST", "/sequences", SequenceJSON{Label: "new", Points: walkPoints(rng, 40)})
+	third, hdr := search()
+	if third.Cached || hdr != "miss" {
+		t.Errorf("post-write search: cached=%v header=%q, want miss", third.Cached, hdr)
+	}
+	if third.Stats.TotalSequences != 9 {
+		t.Errorf("post-write search saw %d sequences, want 9", third.Stats.TotalSequences)
+	}
+}
+
+// TestBatchCacheMixedHeader checks the /batch header summarizes its
+// members: all-miss, then "mixed" when a cached query rides with a fresh
+// one, with the per-result "cached" fields telling them apart.
+func TestBatchCacheMixedHeader(t *testing.T) {
+	s, db := newTestServer(t)
+	db.SetCache(cache.New(cache.Config{}))
+	rng := rand.New(rand.NewSource(13))
+	var stored [][][]float64
+	for i := 0; i < 8; i++ {
+		pts := walkPoints(rng, 50)
+		stored = append(stored, pts)
+		doJSON(t, s, "POST", "/sequences", SequenceJSON{Label: fmt.Sprintf("s%d", i), Points: pts})
+	}
+	q1, q2 := stored[1][5:35], stored[6][10:40]
+
+	rec := doJSON(t, s, "POST", "/search", SearchRequest{Points: q1, Eps: 0.08})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm-up search: %d %s", rec.Code, rec.Body)
+	}
+	rec = doJSON(t, s, "POST", "/batch", BatchSearchRequest{Queries: [][][]float64{q1, q2}, Eps: 0.08})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch: %d %s", rec.Code, rec.Body)
+	}
+	if hdr := rec.Header().Get("X-Mdseq-Cache"); hdr != "mixed" {
+		t.Errorf("header = %q, want mixed", hdr)
+	}
+	var batch BatchSearchResponse
+	json.Unmarshal(rec.Body.Bytes(), &batch)
+	if !batch.Results[0].Cached || batch.Results[1].Cached {
+		t.Errorf("cached flags = %v/%v, want true/false",
+			batch.Results[0].Cached, batch.Results[1].Cached)
+	}
+
+	rec = doJSON(t, s, "POST", "/batch", BatchSearchRequest{Queries: [][][]float64{q1, q2}, Eps: 0.08})
+	if hdr := rec.Header().Get("X-Mdseq-Cache"); hdr != "hit" {
+		t.Errorf("repeat batch header = %q, want hit", hdr)
 	}
 }
 

@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+// SetCache attaches a merged-result cache in front of the scatter-gather
+// (nil detaches). The front cache stores whole gathered answers —
+// matches under global ids, merged stats, the per-shard breakdown — so a
+// repeated query skips the entire fan-out, not just the per-shard work.
+// The same budget, split evenly, is also installed as per-shard caches
+// on the child databases: a query that misses the front (say, after one
+// shard ingested) still reuses the other shards' local results.
+//
+// Invalidation mirrors the single-node protocol: every ShardedDB write
+// advances a write epoch, entries are stamped with the epoch observed
+// before the scatter launched, and Get requires an exact match — so a
+// write racing a scatter can only waste an entry, never serve a stale
+// one. Partial answers are never cached (see internal/cache).
+func (s *ShardedDB) SetCache(c *cache.Cache) {
+	s.qcache.Store(c)
+	if c == nil {
+		for _, db := range s.shards {
+			db.SetCache(nil)
+		}
+		return
+	}
+	cfg := c.Config()
+	n := len(s.shards)
+	per := cache.Config{
+		MaxEntries: (cfg.MaxEntries + n - 1) / n,
+		MaxBytes:   cfg.MaxBytes / int64(n),
+		Shards:     cfg.Shards,
+	}
+	for _, db := range s.shards {
+		db.SetCache(cache.New(per))
+	}
+}
+
+// QueryCache returns the front (merged-result) cache, or nil.
+func (s *ShardedDB) QueryCache() *cache.Cache { return s.qcache.Load() }
+
+// Epoch returns the sharded database's write epoch — the number of
+// completed writes across all shards, counted at the router.
+func (s *ShardedDB) Epoch() uint64 { return s.epoch.Load() }
+
+// bumpEpoch marks a completed write, invalidating every cached scatter.
+func (s *ShardedDB) bumpEpoch() { s.epoch.Add(1) }
+
+// cachedScatter is one memoized gathered answer: matches under global
+// ids, the merged stats, and the per-shard breakdown (so SearchShardsCtx
+// hits keep their authoritative shard list). All three are treated as
+// read-only by consumers.
+type cachedScatter struct {
+	matches  []core.Match
+	stats    core.SearchStats
+	perShard []ShardStats
+}
+
+// cachedGatherKNN is one memoized gathered kNN answer. Copied on every
+// hit — kNN consumers historically mutate their result slices.
+type cachedGatherKNN struct{ results []core.KNNResult }
+
+// approxScatterBytes estimates a cached scatter's retained size.
+func approxScatterBytes(v *cachedScatter) int {
+	n := 224 + 48*len(v.perShard)
+	for _, m := range v.matches {
+		n += 64 + 16*len(m.Interval.Ranges())
+	}
+	return n
+}
+
+// scatterRef is the front-cache slot for one range query: cache (nil
+// when detached), key, and the epoch snapshotted before the scatter.
+type scatterRef struct {
+	c     *cache.Cache
+	key   cache.Key
+	epoch uint64
+}
+
+// rangeRef resolves the front-cache slot for a range query. The epoch is
+// read before the fan-out starts, so a write landing mid-scatter leaves
+// the stored entry unservable rather than stale.
+func (s *ShardedDB) rangeRef(q *core.Sequence, eps float64) scatterRef {
+	c := s.qcache.Load()
+	if c == nil {
+		return scatterRef{}
+	}
+	return scatterRef{c: c, key: core.RangeCacheKey(q, eps, s.opts.Partition), epoch: s.epoch.Load()}
+}
+
+// knnRef resolves the front-cache slot for a gathered kNN query.
+func (s *ShardedDB) knnRef(q *core.Sequence, k int) scatterRef {
+	c := s.qcache.Load()
+	if c == nil {
+		return scatterRef{}
+	}
+	return scatterRef{c: c, key: core.KNNCacheKey(q, k, s.opts.Partition), epoch: s.epoch.Load()}
+}
+
+// get returns the cached gathered answer, stats flagged CacheHit.
+func (r scatterRef) get() ([]core.Match, core.SearchStats, []ShardStats, bool) {
+	if r.c == nil {
+		return nil, core.SearchStats{}, nil, false
+	}
+	v, ok := r.c.Get(r.key, r.epoch)
+	if !ok {
+		return nil, core.SearchStats{}, nil, false
+	}
+	cs := v.Data.(*cachedScatter)
+	st := cs.stats
+	st.CacheHit = true
+	return cs.matches, st, cs.perShard, true
+}
+
+// put stores a completed gather under the pre-scatter epoch. Partial
+// answers are refused by the cache (Value.Partial passes through).
+func (r scatterRef) put(ms []core.Match, st core.SearchStats, ps []ShardStats) {
+	if r.c == nil {
+		return
+	}
+	v := &cachedScatter{matches: ms, stats: st, perShard: ps}
+	r.c.Put(r.key, r.epoch, cache.Value{Data: v, Bytes: approxScatterBytes(v), Partial: st.Partial})
+}
+
+// getKNN returns a copy of the cached gathered kNN answer.
+func (r scatterRef) getKNN() ([]core.KNNResult, bool) {
+	if r.c == nil {
+		return nil, false
+	}
+	v, ok := r.c.Get(r.key, r.epoch)
+	if !ok {
+		return nil, false
+	}
+	return append([]core.KNNResult(nil), v.Data.(*cachedGatherKNN).results...), true
+}
+
+// putKNN stores a complete (non-partial) gathered kNN answer, copied so
+// caller mutations cannot reach the entry.
+func (r scatterRef) putKNN(rs []core.KNNResult) {
+	if r.c == nil {
+		return
+	}
+	rs = append([]core.KNNResult(nil), rs...)
+	r.c.Put(r.key, r.epoch, cache.Value{Data: &cachedGatherKNN{results: rs}, Bytes: 96 + 40*len(rs)})
+}

@@ -1,0 +1,183 @@
+package shard
+
+// Cache A/B benchmark: the same query workload runs against a sharded
+// database with the query cache detached and then attached, measuring
+// throughput and the achieved hit ratio. Two workloads bound the
+// realistic range: "repeated" cycles a small set of distinct queries
+// (the paper's motivating video/image applications re-ask hot queries
+// heavily), and "zipf" draws from a skewed popularity distribution over
+// a larger pool.
+//
+// The measurement doubles as the cache acceptance experiment: when
+// BENCH_CACHE_OUT is set (CI sets it to BENCH_cache.json) the test
+// writes both workloads' numbers as a JSON document.
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+const (
+	cacheBenchShards  = 4
+	cacheBenchCorpus  = 96
+	cacheBenchSeqLen  = 64
+	cacheBenchQueries = 400
+)
+
+// cacheBenchFixture builds the corpus and a pool of n distinct queries
+// (windows of stored sequences, so every query does real phase-3 work).
+func cacheBenchFixture(t testing.TB, n int) (*ShardedDB, []*core.Sequence) {
+	t.Helper()
+	seqs := corpus(t, cacheBenchCorpus, cacheBenchSeqLen, 17)
+	sdb := newSharded(t, clone(seqs), cacheBenchShards)
+	pool := make([]*core.Sequence, n)
+	for i := range pool {
+		src := seqs[i%len(seqs)]
+		off := (i * 3) % (cacheBenchSeqLen - 32)
+		pool[i] = &core.Sequence{Label: "q", Points: src.Points[off : off+32]}
+	}
+	return sdb, pool
+}
+
+// runCacheWorkload executes the workload (a sequence of pool indexes)
+// and returns the wall time plus how many answers were served from the
+// cache, taken from the authoritative per-query CacheHit flag.
+func runCacheWorkload(t testing.TB, sdb *ShardedDB, pool []*core.Sequence, workload []int) (time.Duration, int) {
+	t.Helper()
+	hits := 0
+	t0 := time.Now()
+	for _, qi := range workload {
+		_, st, err := sdb.SearchCtx(context.Background(), pool[qi], 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.CacheHit {
+			hits++
+		}
+	}
+	return time.Since(t0), hits
+}
+
+// cacheWorkloads returns the two measured index streams over a pool of
+// the given size: round-robin repetition of a hot set, and Zipf draws.
+func cacheWorkloads(distinct int) map[string][]int {
+	repeated := make([]int, cacheBenchQueries)
+	for i := range repeated {
+		repeated[i] = i % 8
+	}
+	rng := rand.New(rand.NewSource(23))
+	z := rand.NewZipf(rng, 1.2, 1, uint64(distinct-1))
+	zipf := make([]int, cacheBenchQueries)
+	for i := range zipf {
+		zipf[i] = int(z.Uint64())
+	}
+	return map[string][]int{"repeated": repeated, "zipf": zipf}
+}
+
+// TestCacheThroughputAB is the acceptance measurement: on the
+// repeated-query workload the cached run must be at least 2x the
+// uncached throughput at a >= 90% hit ratio (every distinct query can
+// miss at most once — there are no writes, so the epoch never moves and
+// nothing is evicted). Zipf, with a pool wider than the hot set, must
+// still clear >= 85% hits and beat the uncached run. With
+// BENCH_CACHE_OUT set the numbers are written as BENCH_cache.json.
+func TestCacheThroughputAB(t *testing.T) {
+	const distinct = 64
+	sdb, pool := cacheBenchFixture(t, distinct)
+
+	type result struct {
+		Workload    string  `json:"workload"`
+		Queries     int     `json:"queries"`
+		Distinct    int     `json:"distinct_queries"`
+		UncachedQPS float64 `json:"uncached_qps"`
+		CachedQPS   float64 `json:"cached_qps"`
+		Speedup     float64 `json:"speedup"`
+		HitRatio    float64 `json:"hit_ratio"`
+	}
+	var results []result
+	for _, name := range []string{"repeated", "zipf"} {
+		workload := cacheWorkloads(distinct)[name]
+		sdb.SetCache(nil)
+		durOff, hitsOff := runCacheWorkload(t, sdb, pool, workload)
+		if hitsOff != 0 {
+			t.Fatalf("%s: %d cache hits with no cache attached", name, hitsOff)
+		}
+		sdb.SetCache(cache.New(cache.Config{}))
+		durOn, hitsOn := runCacheWorkload(t, sdb, pool, workload)
+
+		r := result{
+			Workload:    name,
+			Queries:     len(workload),
+			Distinct:    distinct,
+			UncachedQPS: float64(len(workload)) / durOff.Seconds(),
+			CachedQPS:   float64(len(workload)) / durOn.Seconds(),
+			Speedup:     durOff.Seconds() / durOn.Seconds(),
+			HitRatio:    float64(hitsOn) / float64(len(workload)),
+		}
+		results = append(results, r)
+		t.Logf("%s: uncached %.0f q/s, cached %.0f q/s (%.1fx), hit ratio %.3f",
+			name, r.UncachedQPS, r.CachedQPS, r.Speedup, r.HitRatio)
+	}
+
+	rep, zipf := results[0], results[1]
+	if rep.HitRatio < 0.9 {
+		t.Errorf("repeated workload hit ratio %.3f < 0.90", rep.HitRatio)
+	}
+	if rep.Speedup < 2 {
+		t.Errorf("repeated workload speedup %.2fx < 2x", rep.Speedup)
+	}
+	if zipf.HitRatio < 0.85 {
+		t.Errorf("zipf workload hit ratio %.3f < 0.85", zipf.HitRatio)
+	}
+	if zipf.Speedup <= 1 {
+		t.Errorf("zipf workload speedup %.2fx: cache made the workload slower", zipf.Speedup)
+	}
+
+	if out := os.Getenv("BENCH_CACHE_OUT"); out != "" {
+		doc := map[string]any{
+			"name":    "query_cache_ab",
+			"shards":  cacheBenchShards,
+			"corpus":  cacheBenchCorpus,
+			"seq_len": cacheBenchSeqLen,
+			"results": results,
+		}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+			t.Fatalf("writing %s: %v", out, err)
+		}
+		t.Logf("wrote %s", out)
+	}
+}
+
+// BenchmarkCachedSearch reports the same comparison in benchmark form:
+// ns/op for a repeated query with the cache detached vs attached.
+func BenchmarkCachedSearch(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		cache *cache.Cache
+	}{
+		{"uncached", nil},
+		{"cached", cache.New(cache.Config{})},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			sdb, pool := cacheBenchFixture(b, 1)
+			sdb.SetCache(mode.cache)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sdb.SearchCtx(context.Background(), pool[0], 0.25); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -20,6 +20,9 @@ type Backend interface {
 	SearchCtx(ctx context.Context, q *core.Sequence, eps float64) ([]core.Match, core.SearchStats, error)
 	// SearchKNNBoundedCtx runs the bounded local top-k under ctx.
 	SearchKNNBoundedCtx(ctx context.Context, q *core.Sequence, k int, bound float64) ([]core.KNNResult, error)
+	// SearchBatchCtx answers several range queries in one pass under ctx,
+	// one result set and stats value per query, in input order.
+	SearchBatchCtx(ctx context.Context, qs []*core.Sequence, eps float64) ([][]core.Match, []core.SearchStats, error)
 }
 
 var _ Backend = (*core.Database)(nil)
@@ -129,4 +132,14 @@ func (f *FaultDB) SearchKNNBoundedCtx(ctx context.Context, q *core.Sequence, k i
 		return nil, err
 	}
 	return f.inner.SearchKNNBoundedCtx(ctx, q, k, bound)
+}
+
+// SearchBatchCtx applies the next scripted fault, then forwards to the
+// wrapped backend. A batch consumes one fault — it models one network
+// call, however many queries ride in it.
+func (f *FaultDB) SearchBatchCtx(ctx context.Context, qs []*core.Sequence, eps float64) ([][]core.Match, []core.SearchStats, error) {
+	if err := f.apply(ctx); err != nil {
+		return nil, nil, err
+	}
+	return f.inner.SearchBatchCtx(ctx, qs, eps)
 }

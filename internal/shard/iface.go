@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/obs"
@@ -42,6 +43,14 @@ type DB interface {
 	SearchCtx(context.Context, *core.Sequence, float64) ([]core.Match, core.SearchStats, error)
 	// SearchParallel is Search with phase 3 refined by that many workers.
 	SearchParallel(*core.Sequence, float64, int) ([]core.Match, core.SearchStats, error)
+	// SearchParallelCtx is SearchParallel bounded by the context — the
+	// serving layer's parallel path, so a dead client stops the workers.
+	SearchParallelCtx(context.Context, *core.Sequence, float64, int) ([]core.Match, core.SearchStats, error)
+	// SearchBatch answers several range queries in one pass, one result
+	// set and stats value per query, in input order.
+	SearchBatch([]*core.Sequence, float64) ([][]core.Match, []core.SearchStats, error)
+	// SearchBatchCtx is SearchBatch bounded by the context.
+	SearchBatchCtx(context.Context, []*core.Sequence, float64) ([][]core.Match, []core.SearchStats, error)
 	// SearchKNN returns the k sequences nearest the query by MinDnorm.
 	SearchKNN(*core.Sequence, int) ([]core.KNNResult, error)
 	// SearchKNNCtx is SearchKNN bounded by the context.
@@ -68,6 +77,17 @@ type DB interface {
 	// (nil detaches). On a ShardedDB only the scatter-gather layer
 	// records, so a query counts once regardless of shard count.
 	SetMetrics(*obs.Registry)
+
+	// SetCache attaches an epoch-invalidated query-result cache (nil
+	// detaches). Every write invalidates all prior entries; partial
+	// results are never cached. On a ShardedDB the budget covers a
+	// merged-result cache in front of the scatter plus per-shard caches.
+	SetCache(*cache.Cache)
+	// QueryCache returns the attached cache (the front cache on a
+	// ShardedDB), or nil.
+	QueryCache() *cache.Cache
+	// Epoch returns the write epoch cached results are validated against.
+	Epoch() uint64
 
 	// Flush persists index pages to the backing file, if any.
 	Flush() error

@@ -40,6 +40,14 @@ func (s *ShardedDB) SearchKNNCtx(ctx context.Context, q *core.Sequence, k int) (
 	if k <= 0 {
 		return nil, nil
 	}
+	// Front cache: hits skip the fan-out entirely; entries hold global
+	// ids and are copied out, so the in-place id rewriting below can
+	// never reach a cached slice. Degraded (partial) answers are not
+	// cached — see SetCache.
+	ref := s.knnRef(q, k)
+	if rs, ok := ref.getKNN(); ok {
+		return rs, nil
+	}
 	t0 := time.Now()
 	n := len(s.shards)
 	pol := s.Policy()
@@ -105,7 +113,11 @@ func (s *ShardedDB) SearchKNNCtx(ctx context.Context, q *core.Sequence, k int) (
 		}
 		met.recordKNN(time.Since(t0), int(seeded.Load()), int(unseeded.Load()))
 	}
-	return gather.top(), nil
+	out := gather.top()
+	if answered == n {
+		ref.putKNN(out)
+	}
+	return out, nil
 }
 
 // knnGather accumulates per-shard top-k lists into a global top k.

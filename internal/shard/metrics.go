@@ -97,6 +97,38 @@ func (m *shardMetrics) recordScatter(merged core.SearchStats, durs []time.Durati
 	m.strag.ObserveDuration(max - min)
 }
 
+// recordBatchScatter folds one batched fan-out into the registry: one
+// scatter (the batch is one fan-out however many queries ride in it),
+// each query's merged stats into the shared mdseq_search_* families, and
+// the per-shard wall-clocks once.
+func (m *shardMetrics) recordBatchScatter(merged []core.SearchStats, durs []time.Duration) {
+	if m == nil || len(merged) == 0 {
+		return
+	}
+	m.scatters.Inc()
+	anyPartial := false
+	for _, st := range merged {
+		if st.Partial {
+			anyPartial = true
+		}
+		m.core.RecordSearch(st)
+	}
+	if anyPartial {
+		m.partials.Inc()
+	}
+	min, max := durs[0], durs[0]
+	for i, d := range durs {
+		m.perShard[i].ObserveDuration(d)
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	m.strag.ObserveDuration(max - min)
+}
+
 // recordKNN counts one gathered kNN query plus each shard launch's
 // seeding outcome. Per-sequence refined/pruned counts live shard-side
 // and are not returned by SearchKNNBounded, so they are reported as

@@ -41,7 +41,15 @@ func (s *ShardedDB) SearchCtx(ctx context.Context, q *core.Sequence, eps float64
 // scatter already supplies the parallelism (bounded by workers when > 0),
 // so each shard runs its serial search; results equal Search exactly.
 func (s *ShardedDB) SearchParallel(q *core.Sequence, eps float64, workers int) ([]core.Match, core.SearchStats, error) {
-	matches, st, _, err := s.scatterSearch(context.Background(), q, eps, workers)
+	return s.SearchParallelCtx(context.Background(), q, eps, workers)
+}
+
+// SearchParallelCtx is SearchParallel under a caller context: the
+// deadline (or a client disconnect) propagates into every per-shard
+// search exactly as in SearchCtx, so a parallel query can no longer
+// outlive its caller.
+func (s *ShardedDB) SearchParallelCtx(ctx context.Context, q *core.Sequence, eps float64, workers int) ([]core.Match, core.SearchStats, error) {
+	matches, st, _, err := s.scatterSearch(ctx, q, eps, workers)
 	return matches, st, err
 }
 
@@ -71,6 +79,13 @@ type searchReply struct {
 // ShardsAnswered so callers can tell a complete answer from a degraded
 // one without consulting the per-shard slice.
 func (s *ShardedDB) scatterSearch(ctx context.Context, q *core.Sequence, eps float64, workers int) ([]core.Match, core.SearchStats, []ShardStats, error) {
+	// Front cache: a repeated query skips the whole fan-out. The epoch is
+	// snapshotted here, before any shard is contacted, so a write landing
+	// mid-scatter makes the entry stored below unservable, never stale.
+	ref := s.rangeRef(q, eps)
+	if ms, st, ps, ok := ref.get(); ok {
+		return ms, st, ps, nil
+	}
 	n := len(s.shards)
 	pol := s.Policy()
 	met := s.metrics()
@@ -139,6 +154,7 @@ func (s *ShardedDB) scatterSearch(ctx context.Context, q *core.Sequence, eps flo
 		}
 		met.recordScatter(merged, durs)
 	}
+	ref.put(out, merged, perShard)
 	return out, merged, perShard, nil
 }
 
@@ -161,9 +177,14 @@ func (s *ShardedDB) scatterSearch(ctx context.Context, q *core.Sequence, eps flo
 //   - CPUTime sums — it is the aggregate compute the scatter consumed
 //     across all shards; CPUTime/Total() reads as effective parallelism.
 //   - QueryMBRs is the same on every shard (same query, same
-//     partitioning), so it is kept, not summed.
+//     partitioning), so the first answered shard's value is taken and the
+//     rest are ignored. Taking it once (instead of overwriting on every
+//     fold) keeps the merged value correct even if a later shard's stats
+//     are zero-valued or the fold order changes.
 func mergeStats(dst *core.SearchStats, st core.SearchStats) {
-	dst.QueryMBRs = st.QueryMBRs
+	if dst.QueryMBRs == 0 {
+		dst.QueryMBRs = st.QueryMBRs
+	}
 	dst.TotalSequences += st.TotalSequences
 	dst.CandidatesDmbr += st.CandidatesDmbr
 	dst.MatchesDnorm += st.MatchesDnorm

@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/geom"
 )
@@ -56,6 +57,12 @@ type ShardedDB struct {
 	opts   core.Options
 	met    atomic.Pointer[shardMetrics] // nil until SetMetrics
 	pol    atomic.Pointer[Policy]       // nil until SetPolicy (zero policy)
+
+	// epoch counts completed writes at the router; qcache (nil until
+	// SetCache) is the merged-result cache in front of the scatter,
+	// invalidated wholesale by any epoch advance (see internal/cache).
+	epoch  atomic.Uint64
+	qcache atomic.Pointer[cache.Cache]
 
 	bmu      sync.RWMutex
 	backends []Backend // per-shard query targets; default the shards themselves
@@ -162,6 +169,7 @@ func (s *ShardedDB) Add(seq *core.Sequence) (uint32, error) {
 		return 0, err
 	}
 	seq.ID = s.globalID(sh, local)
+	s.bumpEpoch()
 	if m := s.metrics(); m != nil {
 		m.core.RecordAdd(time.Since(t0))
 		m.core.SetShape(s.Len(), s.NumMBRs())
@@ -217,6 +225,7 @@ func (s *ShardedDB) AddAll(seqs []*core.Sequence) ([]uint32, error) {
 			return nil, fmt.Errorf("shard: shard %d: %w", sh, err)
 		}
 	}
+	s.bumpEpoch()
 	if m := s.metrics(); m != nil {
 		m.core.RecordBulkAdd(len(seqs))
 		m.core.SetShape(s.Len(), s.NumMBRs())
@@ -233,6 +242,7 @@ func (s *ShardedDB) Remove(global uint32) error {
 		}
 		return err
 	}
+	s.bumpEpoch()
 	if m := s.metrics(); m != nil {
 		m.core.SetShape(s.Len(), s.NumMBRs())
 	}
@@ -249,6 +259,7 @@ func (s *ShardedDB) AppendPoints(global uint32, pts []geom.Point) error {
 		}
 		return err
 	}
+	s.bumpEpoch()
 	return nil
 }
 

@@ -31,6 +31,7 @@ package mdseq
 import (
 	"net/http"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/obs"
@@ -203,6 +204,37 @@ func ShardFor(label string, n int) int { return shard.ShardFor(label, n) }
 // SaveSharded persists a sharded database (one subdirectory per shard
 // plus a shard-count record) into a directory LoadSharded can restore.
 func SaveSharded(db *ShardedDB, dir string) error { return store.SaveSharded(db, dir) }
+
+// --- caching -------------------------------------------------------------
+
+// QueryCache is a sharded, epoch-invalidated LRU of query results.
+// Attach one with DB.SetCache (or ShardedDB.SetCache, where the budget
+// also covers per-shard caches behind a merged-result front cache):
+// repeated range, parallel, kNN, and batch queries are then answered
+// from memory, and every write advances an epoch that makes all prior
+// entries unservable — cached answers are never stale, and partial
+// scatter-gather results are never cached.
+type QueryCache = cache.Cache
+
+// QueryCacheConfig sizes a QueryCache: entry cap, approximate byte cap,
+// and lock-shard count. Zero fields take the package defaults (4096
+// entries, 64 MiB, 16 shards).
+type QueryCacheConfig = cache.Config
+
+// NewQueryCache creates a query-result cache sized by cfg.
+func NewQueryCache(cfg QueryCacheConfig) *QueryCache { return cache.New(cfg) }
+
+// QueryCacheMetrics is the mdseq_cache_* instrument set a QueryCache
+// records into (hits, misses, evictions, invalidations, entry/byte
+// gauges, hit ratio). Wire it with QueryCache.SetMetrics.
+type QueryCacheMetrics = cache.Metrics
+
+// NewQueryCacheMetrics resolves the mdseq_cache_* instruments in reg
+// under a {cache="name"} label — use distinct names when several caches
+// share a registry (e.g. "front" and "shard" on a sharded deployment).
+func NewQueryCacheMetrics(reg *MetricsRegistry, name string) *QueryCacheMetrics {
+	return cache.NewMetrics(reg, name)
+}
 
 // --- observability -------------------------------------------------------
 
