@@ -67,6 +67,10 @@ func (db *Database) AppendPoints(id uint32, pts []geom.Point) error {
 		}
 		g.MBRs = append(g.MBRs, mbr)
 	}
+	// Rebuild the columnar view (Flat/Lo/Hi and the re-aliased rects) to
+	// match the extended points and tail MBRs. In-flight readers are
+	// excluded by db.mu; rects handed out earlier keep the old arrays.
+	g.syncSoA()
 	db.bumpEpoch()
 	return nil
 }

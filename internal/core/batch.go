@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/geom"
-	"repro/internal/rtree"
 )
 
 // SearchBatch answers several range queries with one pass over the
@@ -67,8 +66,8 @@ func (db *Database) SearchBatchCtx(ctx context.Context, qs []*Sequence, eps floa
 	// fingerprint doubles as the cache key, so the epoch snapshot below
 	// covers exactly the queries that will be computed.
 	c := db.qcache.Load()
-	slot := make(map[cache.Key]int, len(qs))   // fingerprint → index into uniq
-	assign := make([]int, len(qs))             // qs index → uniq index
+	slot := make(map[cache.Key]int, len(qs)) // fingerprint → index into uniq
+	assign := make([]int, len(qs))           // qs index → uniq index
 	uniq := make([]*batchQuery, 0, len(qs))
 	for i, q := range qs {
 		key := queryFingerprint(fpKindRange, q, eps, db.opts.Partition, 0)
@@ -180,22 +179,21 @@ func (db *Database) searchBatchLocked(ctx context.Context, uniq []*batchQuery, e
 			probes[j].owners = append(probes[j].owners, bq)
 		}
 	}
+	sc := getScratch()
+	defer putScratch(sc)
 	for _, pr := range probes {
 		if err := searchCanceled(ctx); err != nil {
 			return err
 		}
 		t1 := time.Now()
-		entries := 0
-		var hits []uint32
-		err := db.tree.WithinDist(pr.rect, eps, func(it rtree.Item) bool {
-			entries++
-			seqID, _ := it.Ref.Unpack()
-			hits = append(hits, seqID)
-			return true
-		})
+		refs, err := db.tree.AppendWithinDist(pr.rect, eps, sc.refs[:0])
 		if err != nil {
 			return err
 		}
+		sc.refs = refs
+		entries := len(refs)
+		hits := appendSeqIDs(sc.ids[:0], refs)
+		sc.ids = hits
 		d := time.Since(t1)
 		for _, bq := range pr.owners {
 			bq.st.IndexEntriesHit += entries
@@ -228,7 +226,7 @@ func (db *Database) searchBatchLocked(ctx context.Context, uniq []*batchQuery, e
 				}
 			}
 			checked++
-			m, hit, evals := phase3One(bq.qseg, db.seqs[id], bq.q.Len(), eps)
+			m, hit, evals := phase3Flat(bq.qseg.MBRs, &sc.p3, db.seqs[id], bq.q.Len(), eps)
 			m.SeqID = id
 			bq.st.DnormEvals += evals
 			if hit {

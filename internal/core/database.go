@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -417,52 +417,54 @@ func (db *Database) SearchCtx(ctx context.Context, q *Sequence, eps float64) ([]
 	}
 	st.TotalSequences = db.live
 
+	// The whole query runs out of one pooled scratch: phase 1 segments
+	// into its columnar arrays, phase 2 accumulates index hits into its
+	// ref buffer, phase 3 reuses its Dnorm arrays per candidate. On a
+	// warmed pool the only allocations left are the ones owned by the
+	// result itself (match slice, intervals) — a no-match query allocates
+	// nothing (enforced by TestHotpathAllocs).
+	sc := getScratch()
+	defer putScratch(sc)
+
 	// Phase 1: partition the query sequence.
 	t0 := time.Now()
-	qseg, err := NewSegmented(q, db.opts.Partition)
-	if err != nil {
-		return nil, st, err
-	}
-	st.QueryMBRs = len(qseg.MBRs)
+	sc.segmentQuery(q, db.opts.Partition)
+	st.QueryMBRs = len(sc.qmbrs)
 	st.Phase1 = time.Since(t0)
 
 	// Phase 2: first pruning. Any sequence owning an MBR within Dmbr ≤ ε
-	// of any query MBR becomes a candidate.
+	// of any query MBR becomes a candidate. The flat kernel compares in
+	// squared space and appends raw refs; one sort+dedup replaces the
+	// candidate set map.
 	t1 := time.Now()
-	candidates := make(map[uint32]bool)
-	for _, qm := range qseg.MBRs {
+	sc.refs = sc.refs[:0]
+	for i := range sc.qmbrs {
 		if err := searchCanceled(ctx); err != nil {
 			return nil, st, err
 		}
-		err := db.tree.WithinDist(qm.Rect, eps, func(it rtree.Item) bool {
-			st.IndexEntriesHit++
-			seqID, _ := it.Ref.Unpack()
-			candidates[seqID] = true
-			return true
-		})
+		var err error
+		sc.refs, err = db.tree.AppendWithinDist(sc.qmbrs[i].Rect, eps, sc.refs)
 		if err != nil {
 			return nil, st, err
 		}
 	}
-	st.CandidatesDmbr = len(candidates)
+	st.IndexEntriesHit = len(sc.refs)
+	sc.ids = appendSeqIDs(sc.ids[:0], sc.refs)
+	ids := sortDedupUint32(sc.ids)
+	st.CandidatesDmbr = len(ids)
 	st.Phase2 = time.Since(t1)
 
 	// Phase 3: second pruning with Dnorm; qualifying windows accumulate
 	// into the solution interval.
 	t2 := time.Now()
 	var out []Match
-	ids := make([]uint32, 0, len(candidates))
-	for id := range candidates {
-		ids = append(ids, id)
-	}
-	sortUint32s(ids)
 	for ci, id := range ids {
 		if ci%cancelCheckEvery == 0 {
 			if err := searchCanceled(ctx); err != nil {
 				return nil, st, err
 			}
 		}
-		m, hit, evals := phase3One(qseg, db.seqs[id], q.Len(), eps)
+		m, hit, evals := phase3Flat(sc.qmbrs, &sc.p3, db.seqs[id], q.Len(), eps)
 		m.SeqID = id
 		st.DnormEvals += evals
 		if hit {
@@ -478,8 +480,11 @@ func (db *Database) SearchCtx(ctx context.Context, q *Sequence, eps float64) ([]
 }
 
 // phase3One runs the Dnorm pruning and solution-interval assembly for one
-// candidate sequence. It is pure read-only metric work, shared by the
-// serial and parallel search paths.
+// candidate sequence. It is pure read-only metric work. The production
+// search paths use phase3Flat — the allocation-free columnar form with
+// identical results; this closure-based original is kept as the reference
+// implementation the hot-path equivalence tests compare against (and as
+// the readable statement of the algorithm).
 //
 // The sweep visits every Dnorm window once; each qualifying window
 // contributes its points to the solution interval (Example 3), widened to
@@ -542,7 +547,7 @@ func (db *Database) CandidatesDmbr(q *Sequence, eps float64) (map[uint32]bool, e
 }
 
 func sortUint32s(xs []uint32) {
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	slices.Sort(xs)
 }
 
 // cancelCheckEvery is how many candidates a ctx-aware search processes

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -53,6 +52,13 @@ func (db *Database) SearchKNNBounded(q *Sequence, k int, bound float64) ([]KNNRe
 // cancellation: the lower-bound pass and the refinement loop both check
 // ctx periodically and abandon the query with ctx's error. A canceled
 // query records nothing into the metrics registry.
+//
+// The whole query runs out of one pooled scratch: the query segmentation
+// and flat point copy, the Dnorm arrays of the lower-bound pass, and the
+// candidate min-heap (a manual heap with container/heap's exact sift
+// order, minus the per-element interface boxing). Refinement uses the
+// flat early-abandoning alignment kernel; abandoning cannot change any
+// result (see bestAlignFlat).
 func (db *Database) SearchKNNBoundedCtx(ctx context.Context, q *Sequence, k int, bound float64) ([]KNNResult, error) {
 	t0 := time.Now()
 	if err := q.Validate(); err != nil {
@@ -82,15 +88,15 @@ func (db *Database) SearchKNNBoundedCtx(ctx context.Context, q *Sequence, k int,
 		return nil, errors.New("core: database closed")
 	}
 
-	qseg, err := NewSegmented(q, db.opts.Partition)
-	if err != nil {
-		return nil, err
-	}
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.segmentQuery(q, db.opts.Partition)
+	sc.fillQueryFlat(q)
 
 	// Lower bound for every live sequence: min over query MBRs of the
 	// sequence's MinDnorm. (The loop over all sequences is O(n·r) metric
 	// work on in-memory MBRs — no point data is touched.)
-	h := &candHeap{}
+	sc.heap = sc.heap[:0]
 	for id, g := range db.seqs {
 		if g == nil {
 			continue // removed
@@ -100,36 +106,32 @@ func (db *Database) SearchKNNBoundedCtx(ctx context.Context, q *Sequence, k int,
 				return nil, err
 			}
 		}
-		bound := math.Inf(1)
-		for _, qm := range qseg.MBRs {
-			c := newDnormCalc(qm.Rect, qm.Count(), g)
-			if d := c.sweep(math.Inf(-1), nil); d < bound {
-				bound = d
-			}
-		}
-		heap.Push(h, knnCand{id: uint32(id), bound: bound})
+		lb := minDnormFlat(sc.qmbrs, &sc.p3, g)
+		sc.heap = pushCand(sc.heap, knnCand{id: uint32(id), bound: lb})
 	}
 
 	// Refine in bound order; stop when the next lower bound cannot beat
 	// the caller's bound or the current k-th best exact distance.
 	// refined counts exact-distance computations; everything left on the
 	// heap at the break was dismissed by its Dnorm lower bound alone.
-	candidates := h.Len()
+	candidates := len(sc.heap)
 	refined := 0
 	var out []KNNResult
 	worst := bound
-	for h.Len() > 0 {
+	dim := q.Dim()
+	for len(sc.heap) > 0 {
 		if refined%cancelCheckEvery == 0 {
 			if err := searchCanceled(ctx); err != nil {
 				return nil, err
 			}
 		}
-		c := heap.Pop(h).(knnCand)
+		var c knnCand
+		c, sc.heap = popCand(sc.heap)
 		if c.bound > worst {
 			break
 		}
 		g := db.seqs[c.id]
-		off, dist := BestAlignment(q.Points, g.Seq.Points)
+		off, dist := bestAlignFlat(sc.qflat, g.Flat, dim, worst)
 		refined++
 		if dist > bound {
 			continue
@@ -163,18 +165,4 @@ func insertKNN(rs []KNNResult, r KNNResult, k int) []KNNResult {
 type knnCand struct {
 	id    uint32
 	bound float64
-}
-
-type candHeap []knnCand
-
-func (h candHeap) Len() int            { return len(h) }
-func (h candHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
-func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(knnCand)) }
-func (h *candHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
 }

@@ -10,7 +10,6 @@ import (
 	"time"
 
 	"repro/internal/geom"
-	"repro/internal/rtree"
 )
 
 // SearchParallel is Search with phase 3 fanned out over a worker pool.
@@ -64,39 +63,36 @@ func (db *Database) SearchParallelCtx(ctx context.Context, q *Sequence, eps floa
 	}
 	st.TotalSequences = db.live
 
+	// One scratch owns the query segmentation and the phase-2 buffers;
+	// the workers read its qmbrs concurrently (read-only) while each
+	// draws its own scratch from the pool for the phase-3 Dnorm arrays.
+	sc := getScratch()
+	defer putScratch(sc)
+
 	t0 := time.Now()
-	qseg, err := NewSegmented(q, db.opts.Partition)
-	if err != nil {
-		return nil, st, err
-	}
-	st.QueryMBRs = len(qseg.MBRs)
+	sc.segmentQuery(q, db.opts.Partition)
+	st.QueryMBRs = len(sc.qmbrs)
 	st.Phase1 = time.Since(t0)
 
 	t1 := time.Now()
-	candidates := make(map[uint32]bool)
-	for _, qm := range qseg.MBRs {
+	sc.refs = sc.refs[:0]
+	for i := range sc.qmbrs {
 		if err := searchCanceled(ctx); err != nil {
 			return nil, st, err
 		}
-		err := db.tree.WithinDist(qm.Rect, eps, func(it rtree.Item) bool {
-			st.IndexEntriesHit++
-			seqID, _ := it.Ref.Unpack()
-			candidates[seqID] = true
-			return true
-		})
+		var err error
+		sc.refs, err = db.tree.AppendWithinDist(sc.qmbrs[i].Rect, eps, sc.refs)
 		if err != nil {
 			return nil, st, err
 		}
 	}
-	st.CandidatesDmbr = len(candidates)
+	st.IndexEntriesHit = len(sc.refs)
+	sc.ids = appendSeqIDs(sc.ids[:0], sc.refs)
+	ids := sortDedupUint32(sc.ids)
+	st.CandidatesDmbr = len(ids)
 	st.Phase2 = time.Since(t1)
 
 	t2 := time.Now()
-	ids := make([]uint32, 0, len(candidates))
-	for id := range candidates {
-		ids = append(ids, id)
-	}
-	sortUint32s(ids)
 
 	type slot struct {
 		m     Match
@@ -115,6 +111,8 @@ func (db *Database) SearchParallelCtx(ctx context.Context, q *Sequence, eps floa
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wsc := getScratch()
+			defer putScratch(wsc)
 			var busy time.Duration
 			defer func() { busyNS.Add(int64(busy)) }()
 			done := false
@@ -130,7 +128,7 @@ func (db *Database) SearchParallelCtx(ctx context.Context, q *Sequence, eps floa
 				n++
 				jt := time.Now()
 				id := ids[i]
-				m, hit, evals := phase3One(qseg, db.seqs[id], q.Len(), eps)
+				m, hit, evals := phase3Flat(sc.qmbrs, &wsc.p3, db.seqs[id], q.Len(), eps)
 				m.SeqID = id
 				slots[i] = slot{m: m, hit: hit, evals: evals}
 				busy += time.Since(jt)

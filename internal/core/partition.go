@@ -56,6 +56,26 @@ func (c PartitionConfig) mcost(r geom.Rect, count int) float64 {
 	return da / float64(count)
 }
 
+// mcostGrown is mcost of the rectangle r would become after absorbing p,
+// computed without materializing the grown rectangle. The per-axis side is
+// max(H_k, p_k) − min(L_k, p_k) — exactly the side an ExtendPoint+Side
+// round trip produces, in the same axis order, so the greedy rule below
+// makes bit-identical decisions to the clone-based original.
+func (c PartitionConfig) mcostGrown(r geom.Rect, p geom.Point, count int) float64 {
+	da := 1.0
+	for k := range p {
+		lo, hi := r.L[k], r.H[k]
+		if p[k] < lo {
+			lo = p[k]
+		}
+		if p[k] > hi {
+			hi = p[k]
+		}
+		da *= (hi - lo) + c.QueryExtent
+	}
+	return da / float64(count)
+}
+
 // Partition segments a sequence into MBRs with the paper's greedy
 // marginal-cost rule: a point joins the current MBR unless doing so would
 // increase the per-point cost or overflow the cap, in which case it starts
@@ -69,20 +89,22 @@ func Partition(s *Sequence, cfg PartitionConfig) ([]MBRInfo, error) {
 		return nil, err
 	}
 	var out []MBRInfo
+	// The candidate cost is evaluated with mcostGrown instead of cloning
+	// and extending a trial rectangle (two allocations per point in the
+	// original); the rectangle is grown in place only once the point is
+	// accepted. RectFromPoint clones, so the growth never aliases s.Points.
 	cur := MBRInfo{Rect: geom.RectFromPoint(s.Points[0]), Start: 0, End: 1}
 	curCost := cfg.mcost(cur.Rect, 1)
 	for i := 1; i < len(s.Points); i++ {
 		p := s.Points[i]
-		grown := cur.Rect.Clone()
-		grown.ExtendPoint(p)
-		grownCost := cfg.mcost(grown, cur.Count()+1)
+		grownCost := cfg.mcostGrown(cur.Rect, p, cur.Count()+1)
 		if grownCost > curCost || cur.Count() >= cfg.MaxPoints {
 			out = append(out, cur)
 			cur = MBRInfo{Rect: geom.RectFromPoint(p), Start: i, End: i + 1}
 			curCost = cfg.mcost(cur.Rect, 1)
 			continue
 		}
-		cur.Rect = grown
+		cur.Rect.ExtendPoint(p)
 		cur.End = i + 1
 		curCost = grownCost
 	}
@@ -91,19 +113,62 @@ func Partition(s *Sequence, cfg PartitionConfig) ([]MBRInfo, error) {
 }
 
 // Segmented couples a sequence with its partitioning; it is the stored
-// form inside a Database and the unit Dnorm operates on.
+// form inside a Database and the unit Dnorm operates on. Alongside the
+// slice-of-slices view it carries a columnar (structure-of-arrays) copy of
+// the same data — Flat/Lo/Hi — which the search kernels scan as one
+// contiguous float64 run instead of chasing a pointer per point or MBR.
 type Segmented struct {
 	Seq  *Sequence
 	MBRs []MBRInfo
+
+	// Flat is the columnar copy of Seq.Points: point i occupies
+	// Flat[i*d : (i+1)*d]. It backs the flat alignment kernel used by kNN
+	// refinement.
+	Flat []float64
+	// Lo and Hi hold every MBR's bounds contiguously: MBR j occupies
+	// Lo[j*d:(j+1)*d] and Hi[j*d:(j+1)*d]. After syncSoA the MBRInfo.Rect
+	// slices alias directly into these arrays, so the two views are one
+	// storage and cannot diverge. MinDistSqBatch scans them sequentially
+	// in the Dnorm inner loop.
+	Lo, Hi []float64
 }
 
-// NewSegmented partitions s under cfg.
+// NewSegmented partitions s under cfg and builds the columnar view.
 func NewSegmented(s *Sequence, cfg PartitionConfig) (*Segmented, error) {
 	mbrs, err := Partition(s, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Segmented{Seq: s, MBRs: mbrs}, nil
+	g := &Segmented{Seq: s, MBRs: mbrs}
+	g.syncSoA()
+	return g, nil
+}
+
+// syncSoA (re)builds the columnar arrays from Seq.Points and MBRs and
+// re-aliases each MBRInfo.Rect into Lo/Hi. Call after any mutation of the
+// points or the partitioning (NewSegmented, AppendPoints). Rects handed
+// out before the call keep the previous backing arrays, which stay valid
+// and immutable — a rebuild replaces the arrays rather than scribbling
+// over them.
+func (g *Segmented) syncSoA() {
+	d := g.Seq.Dim()
+	n := g.Seq.Len()
+	r := len(g.MBRs)
+	flat := make([]float64, n*d)
+	for i, p := range g.Seq.Points {
+		copy(flat[i*d:(i+1)*d], p)
+	}
+	lo := make([]float64, r*d)
+	hi := make([]float64, r*d)
+	for j := range g.MBRs {
+		copy(lo[j*d:(j+1)*d], g.MBRs[j].Rect.L)
+		copy(hi[j*d:(j+1)*d], g.MBRs[j].Rect.H)
+		g.MBRs[j].Rect = geom.Rect{
+			L: lo[j*d : (j+1)*d : (j+1)*d],
+			H: hi[j*d : (j+1)*d : (j+1)*d],
+		}
+	}
+	g.Flat, g.Lo, g.Hi = flat, lo, hi
 }
 
 // PointsIn returns the points covered by MBR j.

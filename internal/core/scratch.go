@@ -1,0 +1,277 @@
+package core
+
+import (
+	"math"
+	"slices"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// searchScratch is the reusable workspace of one query execution: the
+// columnar segmentation of the query, the phase-2 candidate buffers, and
+// the phase-3 Dnorm arrays. Instances cycle through scratchPool, so a
+// steady stream of queries runs without allocating — every buffer is
+// grown to the high-water mark once and then reused. Nothing in a search
+// result may alias scratch memory (results hold their own allocations),
+// which is what makes returning the scratch to the pool safe.
+type searchScratch struct {
+	// Query segmentation, columnar: query MBR j's bounds occupy
+	// qlo[j*d:(j+1)*d] / qhi[j*d:(j+1)*d], and qmbrs[j].Rect aliases those
+	// ranges — the same dual view Segmented keeps for stored sequences.
+	qlo, qhi []float64
+	qmbrs    []MBRInfo
+	// qflat is the columnar copy of the query points (kNN refinement).
+	qflat []float64
+
+	// Phase-2 buffers: raw index hits, then unpacked sequence ids.
+	refs []rtree.Ref
+	ids  []uint32
+
+	// heap holds kNN candidates ordered by Dnorm lower bound.
+	heap []knnCand
+
+	p3 phase3Scratch
+}
+
+// phase3Scratch holds the per-candidate Dnorm arrays. It is separate from
+// searchScratch so the parallel path can hand each worker its own copy
+// while they share one read-only query segmentation.
+type phase3Scratch struct {
+	sq     []float64 // squared Dmbr per target MBR (MinDistSqBatch output)
+	dists  []float64 // sqrt(sq): the Dmbr values dnormCalc consumes
+	prefix []int     // count prefix sums (len r+1)
+	wpre   []float64 // weighted-distance prefix sums (len r+1)
+	wins   []dnWindow
+	calc   dnormCalc
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+func getScratch() *searchScratch   { return scratchPool.Get().(*searchScratch) }
+func putScratch(sc *searchScratch) { scratchPool.Put(sc) }
+
+// ensureFloats returns s resized to length n, reallocating only when the
+// capacity is insufficient.
+func ensureFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// ensureInts is ensureFloats for int slices.
+func ensureInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// segmentQuery partitions q into the scratch's columnar arrays — the same
+// greedy MCOST rule as Partition, with identical floating-point operation
+// order, so it produces exactly the MBRs NewSegmented would. It writes
+// bounds into qlo/qhi (pre-sized to the worst case of one MBR per point,
+// so the aliased qmbrs rects never dangle) and rebuilds qmbrs. The query
+// must already be validated.
+func (sc *searchScratch) segmentQuery(q *Sequence, cfg PartitionConfig) {
+	d := q.Dim()
+	n := q.Len()
+	sc.qlo = ensureFloats(sc.qlo, n*d)
+	sc.qhi = ensureFloats(sc.qhi, n*d)
+	if cap(sc.qmbrs) < n {
+		sc.qmbrs = make([]MBRInfo, 0, n)
+	}
+	sc.qmbrs = sc.qmbrs[:0]
+
+	cur := MBRInfo{Start: 0, End: 1}
+	slot := func(j int) geom.Rect {
+		return geom.Rect{
+			L: sc.qlo[j*d : (j+1)*d : (j+1)*d],
+			H: sc.qhi[j*d : (j+1)*d : (j+1)*d],
+		}
+	}
+	cur.Rect = slot(0)
+	copy(cur.Rect.L, q.Points[0])
+	copy(cur.Rect.H, q.Points[0])
+	curCost := cfg.mcost(cur.Rect, 1)
+	for i := 1; i < n; i++ {
+		p := q.Points[i]
+		grownCost := cfg.mcostGrown(cur.Rect, p, cur.Count()+1)
+		if grownCost > curCost || cur.Count() >= cfg.MaxPoints {
+			sc.qmbrs = append(sc.qmbrs, cur)
+			cur = MBRInfo{Rect: slot(len(sc.qmbrs)), Start: i, End: i + 1}
+			copy(cur.Rect.L, p)
+			copy(cur.Rect.H, p)
+			curCost = cfg.mcost(cur.Rect, 1)
+			continue
+		}
+		cur.Rect.ExtendPoint(p)
+		cur.End = i + 1
+		curCost = grownCost
+	}
+	sc.qmbrs = append(sc.qmbrs, cur)
+}
+
+// fillQueryFlat copies the query points into the scratch's columnar array
+// (kNN refinement input).
+func (sc *searchScratch) fillQueryFlat(q *Sequence) {
+	d := q.Dim()
+	sc.qflat = ensureFloats(sc.qflat, q.Len()*d)
+	for i, p := range q.Points {
+		copy(sc.qflat[i*d:(i+1)*d], p)
+	}
+}
+
+// appendSeqIDs unpacks the sequence-id half of each index hit into ids.
+func appendSeqIDs(ids []uint32, refs []rtree.Ref) []uint32 {
+	for _, r := range refs {
+		id, _ := r.Unpack()
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// sortDedupUint32 sorts ids ascending and removes duplicates in place —
+// the allocation-free replacement for the candidate set map: phase 2
+// appends every hit, then one sort+compact yields the unique candidate
+// ids in the order the serial search has always processed them.
+func sortDedupUint32(ids []uint32) []uint32 {
+	slices.Sort(ids)
+	return slices.Compact(ids)
+}
+
+// ensure sizes the Dnorm arrays for a candidate with r target MBRs and
+// resets the prefix bases.
+func (p3 *phase3Scratch) ensure(r int) {
+	p3.sq = ensureFloats(p3.sq, r)
+	p3.dists = ensureFloats(p3.dists, r)
+	p3.prefix = ensureInts(p3.prefix, r+1)
+	p3.wpre = ensureFloats(p3.wpre, r+1)
+	p3.prefix[0] = 0
+	p3.wpre[0] = 0
+}
+
+// phase3Flat runs the Dnorm pruning and solution-interval assembly for one
+// candidate sequence — the allocation-free form of phase3One. The query
+// side is any []MBRInfo whose rects can be read as flat bounds (both the
+// pooled segmentQuery output and a Segmented's MBRs qualify); the data
+// side uses the candidate's columnar Lo/Hi through MinDistSqBatch, so the
+// whole Dmbr row of the Dnorm table is computed over sequential memory in
+// squared space, with one sqrt per target when converting to the weighted
+// means Definition 5 needs. Emission order, arithmetic, and results are
+// identical to phase3One (see the equivalence tests).
+func phase3Flat(qmbrs []MBRInfo, p3 *phase3Scratch, g *Segmented, qLen int, eps float64) (m Match, hit bool, evals int) {
+	m = Match{Seq: g.Seq, MinDnorm: math.Inf(1)}
+	r := len(g.MBRs)
+	for qi := range qmbrs {
+		qm := &qmbrs[qi]
+		p3.ensure(r)
+		geom.MinDistSqBatch(qm.Rect.L, qm.Rect.H, g.Lo, g.Hi, p3.sq)
+		c := &p3.calc
+		*c = dnormCalc{
+			mbrs:   g.MBRs,
+			dists:  p3.dists,
+			prefix: p3.prefix,
+			wpre:   p3.wpre,
+			qCount: qm.Count(),
+		}
+		for t := 0; t < r; t++ {
+			c.dists[t] = math.Sqrt(p3.sq[t])
+			c.prefix[t+1] = c.prefix[t] + g.MBRs[t].Count()
+			c.wpre[t+1] = c.wpre[t] + c.dists[t]*float64(g.MBRs[t].Count())
+		}
+		evals += r
+		var minDist float64
+		minDist, p3.wins = c.sweepAppend(eps, p3.wins[:0])
+		for _, w := range p3.wins {
+			hit = true
+			start := w.pstart - qm.Start
+			end := w.pend + (qLen - qm.End)
+			if start < 0 {
+				start = 0
+			}
+			if end > g.Seq.Len() {
+				end = g.Seq.Len()
+			}
+			m.Interval.Add(PointRange{Start: start, End: end})
+		}
+		if minDist < m.MinDnorm {
+			m.MinDnorm = minDist
+		}
+	}
+	return m, hit, evals
+}
+
+// minDnormFlat is the kNN lower-bound pass for one sequence: the minimum
+// sweep value over all query MBRs, computed through the same flat
+// machinery as phase3Flat with window collection suppressed.
+func minDnormFlat(qmbrs []MBRInfo, p3 *phase3Scratch, g *Segmented) float64 {
+	bound := math.Inf(1)
+	r := len(g.MBRs)
+	for qi := range qmbrs {
+		qm := &qmbrs[qi]
+		p3.ensure(r)
+		geom.MinDistSqBatch(qm.Rect.L, qm.Rect.H, g.Lo, g.Hi, p3.sq)
+		c := &p3.calc
+		*c = dnormCalc{
+			mbrs:   g.MBRs,
+			dists:  p3.dists,
+			prefix: p3.prefix,
+			wpre:   p3.wpre,
+			qCount: qm.Count(),
+		}
+		for t := 0; t < r; t++ {
+			c.dists[t] = math.Sqrt(p3.sq[t])
+			c.prefix[t+1] = c.prefix[t] + g.MBRs[t].Count()
+			c.wpre[t+1] = c.wpre[t] + c.dists[t]*float64(g.MBRs[t].Count())
+		}
+		if d, _ := c.sweepAppend(math.Inf(-1), nil); d < bound {
+			bound = d
+		}
+	}
+	return bound
+}
+
+// pushCand pushes c onto the binary min-heap in h (ordered by bound) and
+// returns the grown slice. The sift-up replicates container/heap exactly,
+// so replacing the interface-based heap (which boxed every element)
+// changes neither the heap shape nor the pop order.
+func pushCand(h []knnCand, c knnCand) []knnCand {
+	h = append(h, c)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(h[i].bound < h[parent].bound) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+// popCand removes and returns the minimum-bound candidate, mirroring
+// container/heap's swap-root-with-last + sift-down.
+func popCand(h []knnCand) (knnCand, []knnCand) {
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if rt := l + 1; rt < n && h[rt].bound < h[l].bound {
+			j = rt
+		}
+		if !(h[j].bound < h[i].bound) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	return h[n], h[:n]
+}

@@ -58,7 +58,12 @@ func RunIOCost(cfg Config, dir string) ([]IORow, error) {
 	for _, eps := range cfg.Thresholds {
 		db.ResetPagerStats()
 		for _, q := range queries {
-			if _, _, err := db.Search(q, eps); err != nil {
+			// Search itself now serves index nodes from the in-memory flat
+			// cache (zero pager traffic once warm), so the page-level cost
+			// of the paper's phase-2 index descent is measured through the
+			// pager-backed compatibility path: CandidatesDmbr issues
+			// exactly the page requests the index search performs.
+			if _, err := db.CandidatesDmbr(q, eps); err != nil {
 				return nil, err
 			}
 		}

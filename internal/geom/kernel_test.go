@@ -1,0 +1,140 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randRect is shared with rect_test.go.
+
+func randPoint(rng *rand.Rand, dim int) Point {
+	p := make(Point, dim)
+	for k := range p {
+		p[k] = rng.Float64()
+	}
+	return p
+}
+
+// TestMinDistSqMatchesMinDist is the squared-space correctness property:
+// MinDistSq must equal MinDist² (up to 1-ulp-scale rounding from the one
+// extra multiply), and MinDist must equal Sqrt(MinDistSq) exactly, across
+// random rectangle pairs and dimensions.
+func TestMinDistSqMatchesMinDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, dim := range []int{1, 2, 3, 4, 5, 8, 16} {
+		for i := 0; i < 2000; i++ {
+			a, b := randRect(rng, dim), randRect(rng, dim)
+			sq := a.MinDistSq(b)
+			d := a.MinDist(b)
+			if got := math.Sqrt(sq); got != d {
+				t.Fatalf("dim %d: MinDist %v != Sqrt(MinDistSq) %v", dim, d, got)
+			}
+			// d*d re-rounds, so allow a few ulps around sq.
+			if diff := math.Abs(d*d - sq); diff > 4*ulpAt(sq) {
+				t.Fatalf("dim %d: MinDist²=%v vs MinDistSq=%v (diff %g)", dim, d*d, sq, diff)
+			}
+			if sq < 0 {
+				t.Fatalf("dim %d: negative MinDistSq %v", dim, sq)
+			}
+			if a.Intersects(b) && sq != 0 {
+				t.Fatalf("dim %d: intersecting rects with MinDistSq %v", dim, sq)
+			}
+		}
+	}
+}
+
+// TestMinDistPointSqMatches checks the point-to-rectangle squared kernel
+// against its sqrt form and against the degenerate-rectangle definition.
+func TestMinDistPointSqMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, dim := range []int{1, 2, 4, 8} {
+		for i := 0; i < 2000; i++ {
+			r := randRect(rng, dim)
+			p := randPoint(rng, dim)
+			sq := r.MinDistPointSq(p)
+			if got := math.Sqrt(sq); got != r.MinDistPoint(p) {
+				t.Fatalf("dim %d: MinDistPoint %v != Sqrt(MinDistPointSq) %v", dim, r.MinDistPoint(p), got)
+			}
+			if deg := r.MinDistSq(RectFromPoint(p)); deg != sq {
+				t.Fatalf("dim %d: MinDistPointSq %v != MinDistSq(degenerate) %v", dim, sq, deg)
+			}
+			if r.ContainsPoint(p) && sq != 0 {
+				t.Fatalf("dim %d: contained point with MinDistPointSq %v", dim, sq)
+			}
+		}
+	}
+}
+
+// TestMinDistSqBatchMatchesScalar checks the columnar batch kernel against
+// the scalar rectangle API for every specialized dimension and the generic
+// fallback.
+func TestMinDistSqBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, dim := range []int{1, 2, 3, 4, 6, 8, 16} {
+		q := randRect(rng, dim)
+		const n = 64
+		lo := make([]float64, n*dim)
+		hi := make([]float64, n*dim)
+		rects := make([]Rect, n)
+		for t := 0; t < n; t++ {
+			r := randRect(rng, dim)
+			rects[t] = r
+			copy(lo[t*dim:], r.L)
+			copy(hi[t*dim:], r.H)
+		}
+		out := make([]float64, n)
+		MinDistSqBatch(q.L, q.H, lo, hi, out)
+		for i, r := range rects {
+			if want := q.MinDistSq(r); out[i] != want {
+				t.Fatalf("dim %d target %d: batch %v != scalar %v", dim, i, out[i], want)
+			}
+		}
+	}
+}
+
+// TestDistSqFlatMatchesPoint checks the flat point kernel against the
+// Point API, including the exact-equality contract DistSq == Dist2.
+func TestDistSqFlatMatchesPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, dim := range []int{1, 2, 3, 4, 7, 16} {
+		for i := 0; i < 1000; i++ {
+			p, q := randPoint(rng, dim), randPoint(rng, dim)
+			want := p.DistSq(q)
+			if got := DistSqFlat(p, q); got != want {
+				t.Fatalf("dim %d: DistSqFlat %v != DistSq %v", dim, got, want)
+			}
+			if got := p.Dist2(q); got != want {
+				t.Fatalf("dim %d: Dist2 %v != DistSq %v", dim, got, want)
+			}
+			if got := math.Sqrt(want); got != p.Dist(q) {
+				t.Fatalf("dim %d: Dist %v != Sqrt(DistSq) %v", dim, p.Dist(q), got)
+			}
+		}
+	}
+}
+
+// TestCenterInto checks the in-place center against Center.
+func TestCenterInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for _, dim := range []int{1, 2, 4, 8} {
+		for i := 0; i < 200; i++ {
+			r := randRect(rng, dim)
+			dst := make(Point, dim)
+			r.CenterInto(dst)
+			if !dst.Equal(r.Center()) {
+				t.Fatalf("dim %d: CenterInto %v != Center %v", dim, dst, r.Center())
+			}
+		}
+	}
+}
+
+// ulpAt returns the unit-in-the-last-place spacing at |x| (of float64),
+// with a floor for x near zero.
+func ulpAt(x float64) float64 {
+	x = math.Abs(x)
+	if x == 0 {
+		return math.SmallestNonzeroFloat64
+	}
+	return math.Nextafter(x, math.Inf(1)) - x
+}

@@ -30,14 +30,19 @@ func NewPoint(n int) Point { return make(Point, n) }
 // Dim returns the dimensionality of p.
 func (p Point) Dim() int { return len(p) }
 
-// Clone returns a deep copy of p.
+// Clone returns a deep copy of p. It allocates; hot loops that only need
+// coordinates should keep points in flat []float64 storage and use the
+// stride-indexed kernels (DistSqFlat, MinDistSqBatch) or copy into a
+// reused buffer instead of cloning per iteration.
 func (p Point) Clone() Point {
 	q := make(Point, len(p))
 	copy(q, p)
 	return q
 }
 
-// Equal reports whether p and q have identical coordinates.
+// Equal reports whether p and q have identical coordinates. It is the
+// slice-based compatibility form; columnar storage can compare stride
+// sub-slices directly without materializing Points.
 func (p Point) Equal(q Point) bool {
 	if len(p) != len(q) {
 		return false
@@ -93,20 +98,21 @@ func (p Point) Mid(q Point) Point {
 // Dist returns the Euclidean distance d(p,q) between two points
 // (the paper's d(S1[i], S2[j])).
 func (p Point) Dist(q Point) float64 {
-	return math.Sqrt(p.Dist2(q))
+	return math.Sqrt(p.DistSq(q))
 }
 
-// Dist2 returns the squared Euclidean distance between p and q. It is the
-// hot inner loop of the sequential-scan baseline, so it avoids allocation.
-func (p Point) Dist2(q Point) float64 {
+// DistSq returns the squared Euclidean distance between p and q — the
+// kernel form used by every pruning comparison (compare against ε², take
+// the sqrt only for emitted results). It is the hot inner loop of the
+// sequential-scan baseline, so it avoids allocation; for points held in
+// flat columnar storage use DistSqFlat on the stride sub-slices directly.
+func (p Point) DistSq(q Point) float64 {
 	mustSameDim(p, q)
-	var s float64
-	for i := range p {
-		d := p[i] - q[i]
-		s += d * d
-	}
-	return s
+	return DistSqFlat(p, q)
 }
+
+// Dist2 is a compatibility alias for DistSq, kept for existing callers.
+func (p Point) Dist2(q Point) float64 { return p.DistSq(q) }
 
 // Norm returns the Euclidean norm of p.
 func (p Point) Norm() float64 {

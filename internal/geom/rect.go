@@ -13,6 +13,9 @@ import (
 // The zero Rect (nil slices) is "empty": it contains nothing and extending
 // it by a point yields the degenerate rectangle at that point.
 type Rect struct {
+	// L and H are the low and high corners; L[k] ≤ H[k] on every axis of
+	// a valid rectangle. Hot paths may alias them into columnar bound
+	// arrays (see core.Segmented), so treat them as read-only views.
 	L, H Point
 }
 
@@ -79,13 +82,23 @@ func (r Rect) Equal(s Rect) bool { return r.L.Equal(s.L) && r.H.Equal(s.H) }
 // MBRs for the MCOST function).
 func (r Rect) Side(k int) float64 { return r.H[k] - r.L[k] }
 
-// Center returns the center point of r.
+// Center returns the center point of r as a fresh allocation. Hot loops
+// that compute many centers should use CenterInto with a reused buffer.
 func (r Rect) Center() Point {
 	c := make(Point, len(r.L))
-	for i := range r.L {
-		c[i] = (r.L[i] + r.H[i]) / 2
-	}
+	r.CenterInto(c)
 	return c
+}
+
+// CenterInto writes the center point of r into dst, which must have r's
+// dimensionality. It is the allocation-free form of Center for hot loops
+// (e.g. the R*-tree reinsertion distance sort) that compute centers per
+// entry.
+func (r Rect) CenterInto(dst Point) {
+	mustSameDim(r.L, dst)
+	for i := range r.L {
+		dst[i] = (r.L[i] + r.H[i]) / 2
+	}
 }
 
 // Volume returns the n-dimensional volume of r (0 for the empty rect).
@@ -229,40 +242,38 @@ func (r Rect) Enlargement(s Rect) float64 {
 //
 // and Dmbr = sqrt(Σ x_k²). It is 0 when the rectangles intersect, matching
 // the left case of the paper's Figure 2.
+//
+// MinDist is the result-reporting form; candidate selection should prefer
+// MinDistSq compared against ε², which skips the square root (sqrt is
+// monotone, so the comparisons agree).
 func (r Rect) MinDist(s Rect) float64 {
+	return math.Sqrt(r.MinDistSq(s))
+}
+
+// MinDistSq returns MinDist(r, s)² without taking the square root — the
+// pruning-kernel form of the paper's Dmbr. Because sqrt is strictly
+// monotone, Dmbr(A,B) ≤ ε exactly when MinDistSq(A,B) ≤ ε², so phase-2
+// candidate selection runs entirely in squared space and defers the sqrt
+// to emitted results. The accumulation order matches MinDist's, so
+// MinDist == Sqrt(MinDistSq) bit-for-bit.
+func (r Rect) MinDistSq(s Rect) float64 {
 	mustSameDim(r.L, s.L)
-	var sum float64
-	for k := range r.L {
-		var x float64
-		switch {
-		case r.H[k] < s.L[k]:
-			x = s.L[k] - r.H[k]
-		case s.H[k] < r.L[k]:
-			x = r.L[k] - s.H[k]
-		default:
-			x = 0
-		}
-		sum += x * x
-	}
-	return math.Sqrt(sum)
+	return MinDistSqLH(r.L, r.H, s.L, s.H)
 }
 
 // MinDistPoint returns the minimum Euclidean distance from point p to
-// rectangle r (0 if p is inside r).
+// rectangle r (0 if p is inside r). Prefer MinDistPointSq against ε² in
+// pruning loops.
 func (r Rect) MinDistPoint(p Point) float64 {
+	return math.Sqrt(r.MinDistPointSq(p))
+}
+
+// MinDistPointSq returns MinDistPoint(r, p)² without the square root —
+// the squared-space kernel for point-to-rectangle pruning, degenerate
+// case of MinDistSq (a point is a zero-extent rectangle).
+func (r Rect) MinDistPointSq(p Point) float64 {
 	mustSameDim(r.L, p)
-	var sum float64
-	for k, v := range p {
-		var x float64
-		switch {
-		case v < r.L[k]:
-			x = r.L[k] - v
-		case v > r.H[k]:
-			x = v - r.H[k]
-		}
-		sum += x * x
-	}
-	return math.Sqrt(sum)
+	return MinDistSqLH(p, p, r.L, r.H)
 }
 
 // MaxDist returns the maximum Euclidean distance between any pair of

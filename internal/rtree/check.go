@@ -67,12 +67,15 @@ func (t *Tree) checkRec(page pager.PageID, level uint32, root pager.PageID) (uin
 
 // TreeStats summarizes the tree's shape and space utilization.
 type TreeStats struct {
-	Height        int
+	// Height is the number of levels, counting the leaf level as 1.
+	Height int
+	// InternalNodes counts directory nodes.
 	InternalNodes int
-	LeafNodes     int
-	Entries       int     // leaf entries (== Len())
-	LeafFill      float64 // mean leaf occupancy as a fraction of capacity
-	InternalFill  float64 // mean internal occupancy (0 when height == 1)
+	// LeafNodes counts leaf nodes.
+	LeafNodes    int
+	Entries      int     // leaf entries (== Len())
+	LeafFill     float64 // mean leaf occupancy as a fraction of capacity
+	InternalFill float64 // mean internal occupancy (0 when height == 1)
 }
 
 // Stats walks the tree and reports shape and fill statistics — the

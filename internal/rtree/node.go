@@ -33,6 +33,59 @@ func (n *node) mbr() geom.Rect {
 	return r
 }
 
+// flatNode is the search-path form of one decoded page: every entry's
+// bounds in one contiguous array (entry e occupies
+// bounds[e*2d : e*2d+d] = L and bounds[e*2d+d : (e+1)*2d] = H) plus a
+// parallel payload array holding the Ref (leaves) or child PageID
+// (internal nodes). Scanning a flatNode is a sequential walk over plain
+// float64s — no per-entry slice headers, no pointer chasing — and the
+// decoded form is cached per page (Tree.flat) so steady-state searches
+// never touch the pager or allocate.
+type flatNode struct {
+	leaf   bool
+	count  int
+	bounds []float64
+	pay    []uint64
+}
+
+// readFlat returns the cached flat decoding of page id, decoding and
+// caching it on first use. Cached nodes are invalidated by writeNode and
+// freeNodePage, so a flatNode can never go stale; concurrent searches may
+// race to decode the same page, in which case both decodings are valid
+// and the last Store wins.
+func (t *Tree) readFlat(id pager.PageID) (*flatNode, error) {
+	if v, ok := t.flat.Load(id); ok {
+		return v.(*flatNode), nil
+	}
+	fn := &flatNode{}
+	err := t.pg.View(id, func(b []byte) error {
+		fn.leaf = b[0]&1 != 0
+		count := int(binary.LittleEndian.Uint16(b[1:3]))
+		if count > t.maxEntries {
+			return fmt.Errorf("rtree: node %d count %d exceeds max %d (corrupt page?)", id, count, t.maxEntries)
+		}
+		fn.count = count
+		fn.bounds = make([]float64, count*2*t.dim)
+		fn.pay = make([]uint64, count)
+		off := nodeHeaderSize
+		for i := 0; i < count; i++ {
+			base := i * 2 * t.dim
+			for k := 0; k < 2*t.dim; k++ {
+				fn.bounds[base+k] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+				off += 8
+			}
+			fn.pay[i] = binary.LittleEndian.Uint64(b[off:])
+			off += 8
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.flat.Store(id, fn)
+	return fn, nil
+}
+
 // Node page layout:
 //
 //	flags  u8   (bit 0: leaf)
@@ -45,6 +98,7 @@ func (t *Tree) writeNode(n *node) error {
 	if len(n.entries) > t.maxEntries {
 		return fmt.Errorf("rtree: node %d has %d entries, max %d", n.page, len(n.entries), t.maxEntries)
 	}
+	t.flat.Delete(n.page)
 	return t.pg.Update(n.page, func(b []byte) error {
 		var flags byte
 		if n.leaf {

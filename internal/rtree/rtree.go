@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/pager"
@@ -36,8 +37,10 @@ func (r Ref) Unpack() (seqID, ordinal uint32) {
 
 // Item is one indexed entry as reported by searches.
 type Item struct {
+	// Rect is the indexed bounding rectangle.
 	Rect geom.Rect
-	Ref  Ref
+	// Ref is the opaque payload stored with the rectangle.
+	Ref Ref
 }
 
 const (
@@ -85,6 +88,14 @@ type Tree struct {
 	minEntries int
 	entrySize  int
 	dirtyMeta  bool
+
+	// flat caches the columnar decoding of node pages (PageID →
+	// *flatNode) for the squared-space search kernel (AppendWithinDist).
+	// Entries are dropped whenever their page is rewritten or freed, so
+	// the cache tracks the live tree exactly; it holds at most one
+	// decoded copy of every visited node (O(tree bytes) extra memory,
+	// traded for allocation-free, pager-free steady-state searches).
+	flat sync.Map
 }
 
 // New creates a fresh tree on an empty pager (the pager must have no
@@ -253,6 +264,7 @@ func (t *Tree) allocNodePage() (pager.PageID, error) {
 }
 
 func (t *Tree) freeNodePage(id pager.PageID) error {
+	t.flat.Delete(id)
 	err := t.pg.Update(id, func(b []byte) error {
 		binary.LittleEndian.PutUint32(b[0:4], uint32(t.freeHead))
 		return nil
