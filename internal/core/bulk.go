@@ -10,12 +10,70 @@ import (
 	"repro/internal/rtree"
 )
 
-// AddAll stores a whole corpus at once. On an empty database it partitions
-// the sequences in parallel and bulk-loads the R*-tree with STR packing —
-// much faster and more compact than repeated Add; on a non-empty database
-// it falls back to sequential Adds. Returned ids are dense and in input
-// order. As with Add, the database keeps references to the sequences.
+// AddAll stores a whole corpus at once. Sequences are validated and
+// partitioned in parallel before any lock is taken; on an empty database
+// the R*-tree is then bulk-loaded with STR packing — much faster and more
+// compact than repeated Add — while on a non-empty database the
+// pre-partitioned sequences are inserted under one lock hold. Either way
+// the batch is all-or-nothing: a failure mid-insert rolls back every
+// entry of the batch, so a partial bulk is never visible to readers or to
+// a later crash recovery. Returned ids are dense and in input order. As
+// with Add, the database keeps references to the sequences.
 func (db *Database) AddAll(seqs []*Sequence) ([]uint32, error) {
+	segs, err := db.partitionAll(seqs)
+	if err != nil || len(segs) == 0 {
+		return nil, err
+	}
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.pg == nil {
+		return nil, errors.New("core: database closed")
+	}
+
+	if len(db.seqs) > 0 {
+		// Bulk path needs an empty tree; insert the pre-partitioned batch
+		// sequentially, undoing the whole batch on any failure.
+		ids := make([]uint32, len(seqs))
+		for i, g := range segs {
+			id, err := db.addSegmentedLocked(g)
+			if err != nil {
+				db.unwindLocked(ids[:i])
+				return nil, fmt.Errorf("core: bulk insert of sequence %d: %w", i, err)
+			}
+			ids[i] = id
+		}
+		db.bumpEpoch()
+		db.met.RecordBulkAdd(len(seqs))
+		db.met.SetShape(db.live, db.tree.Len())
+		return ids, nil
+	}
+
+	var items []rtree.Item
+	ids := make([]uint32, len(seqs))
+	for i, g := range segs {
+		id := uint32(i)
+		seqs[i].ID = id
+		ids[i] = id
+		for j, m := range g.MBRs {
+			items = append(items, rtree.Item{Rect: m.Rect, Ref: rtree.PackRef(id, uint32(j))})
+		}
+	}
+	if err := db.tree.BulkLoad(items); err != nil {
+		return nil, err
+	}
+	db.seqs = segs
+	db.live = len(segs)
+	db.bumpEpoch()
+	db.met.RecordBulkAdd(len(seqs))
+	db.met.SetShape(db.live, db.tree.Len())
+	return ids, nil
+}
+
+// partitionAll validates every sequence and partitions them in parallel
+// (partitioning is CPU-bound and independent), without touching any
+// database state that needs the lock.
+func (db *Database) partitionAll(seqs []*Sequence) ([]*Segmented, error) {
 	if len(seqs) == 0 {
 		return nil, nil
 	}
@@ -28,39 +86,6 @@ func (db *Database) AddAll(seqs []*Sequence) ([]uint32, error) {
 				i, s.Dim(), db.opts.Dim, geom.ErrDimensionMismatch)
 		}
 	}
-
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.pg == nil {
-		return nil, errors.New("core: database closed")
-	}
-
-	if len(db.seqs) > 0 {
-		// Bulk path needs an empty tree; degrade gracefully.
-		ids := make([]uint32, len(seqs))
-		for i, s := range seqs {
-			g, err := NewSegmented(s, db.opts.Partition)
-			if err != nil {
-				return nil, err
-			}
-			id := uint32(len(db.seqs))
-			s.ID = id
-			for j, m := range g.MBRs {
-				if err := db.tree.Insert(m.Rect, rtree.PackRef(id, uint32(j))); err != nil {
-					return nil, err
-				}
-			}
-			db.seqs = append(db.seqs, g)
-			db.live++
-			ids[i] = id
-		}
-		db.bumpEpoch()
-		db.met.RecordBulkAdd(len(seqs))
-		db.met.SetShape(db.live, db.tree.Len())
-		return ids, nil
-	}
-
-	// Partition in parallel; partitioning is CPU-bound and independent.
 	segs := make([]*Segmented, len(seqs))
 	errs := make([]error, len(seqs))
 	var wg sync.WaitGroup
@@ -84,24 +109,22 @@ func (db *Database) AddAll(seqs []*Sequence) ([]uint32, error) {
 			return nil, fmt.Errorf("core: partitioning sequence %d: %w", i, err)
 		}
 	}
+	return segs, nil
+}
 
-	var items []rtree.Item
-	ids := make([]uint32, len(seqs))
-	for i, g := range segs {
-		id := uint32(i)
-		seqs[i].ID = id
-		ids[i] = id
+// unwindLocked removes the just-inserted batch prefix (ids, in insertion
+// order) so a failed AddAll leaves the database exactly as it was.
+// Caller holds db.mu. The ids are the most recent directory entries, so
+// truncating the directory after deleting the index entries restores the
+// pre-batch state (ids stay dense).
+func (db *Database) unwindLocked(ids []uint32) {
+	for i := len(ids) - 1; i >= 0; i-- {
+		id := ids[i]
+		g := db.seqs[id]
 		for j, m := range g.MBRs {
-			items = append(items, rtree.Item{Rect: m.Rect, Ref: rtree.PackRef(id, uint32(j))})
+			db.tree.Delete(m.Rect, rtree.PackRef(id, uint32(j)))
 		}
+		db.seqs = db.seqs[:id]
+		db.live--
 	}
-	if err := db.tree.BulkLoad(items); err != nil {
-		return nil, err
-	}
-	db.seqs = segs
-	db.live = len(segs)
-	db.bumpEpoch()
-	db.met.RecordBulkAdd(len(seqs))
-	db.met.SetShape(db.live, db.tree.Len())
-	return ids, nil
 }

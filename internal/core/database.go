@@ -184,7 +184,9 @@ func (db *Database) Close() error {
 }
 
 // Add partitions the sequence, indexes its MBRs, and returns the assigned
-// sequence id. The database keeps a reference to s; callers must not
+// sequence id. Partitioning runs before the write lock is taken, so
+// concurrent readers are only excluded for the index insertions
+// themselves. The database keeps a reference to s; callers must not
 // mutate it afterwards.
 func (db *Database) Add(s *Sequence) (uint32, error) {
 	t0 := time.Now()
@@ -199,24 +201,82 @@ func (db *Database) Add(s *Sequence) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
+	id, err := db.AddSegmented(g)
+	if err != nil {
+		return 0, err
+	}
+	db.met.RecordAdd(time.Since(t0))
+	return id, nil
+}
+
+// AddSegmented indexes a pre-partitioned sequence and returns its
+// assigned id. It is the mutation half of Add, split out so callers that
+// already hold a Segmented — the transaction layer folding its delta, or
+// AddAll partitioning a batch outside the lock — pay only for the index
+// insertions under the write lock. The partitioning must have been
+// produced with the database's PartitionConfig. On an index failure the
+// already-inserted entries are rolled back and the database is unchanged.
+func (db *Database) AddSegmented(g *Segmented) (uint32, error) {
+	if g.Seq.Dim() != db.opts.Dim {
+		return 0, fmt.Errorf("core: sequence dim %d, database dim %d: %w",
+			g.Seq.Dim(), db.opts.Dim, geom.ErrDimensionMismatch)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.pg == nil {
+		return 0, errors.New("core: database closed")
+	}
+	id, err := db.addSegmentedLocked(g)
+	if err != nil {
+		return 0, err
+	}
+	db.bumpEpoch()
+	db.met.SetShape(db.live, db.tree.Len())
+	return id, nil
+}
+
+// addSegmentedLocked inserts g's entries and appends it to the directory,
+// rolling back the inserted entries on error. Caller holds db.mu.
+func (db *Database) addSegmentedLocked(g *Segmented) (uint32, error) {
+	id := uint32(len(db.seqs))
+	for j, m := range g.MBRs {
+		if err := db.tree.Insert(m.Rect, rtree.PackRef(id, uint32(j))); err != nil {
+			for k := 0; k < j; k++ {
+				db.tree.Delete(g.MBRs[k].Rect, rtree.PackRef(id, uint32(k)))
+			}
+			return 0, err
+		}
+	}
+	g.Seq.ID = id
+	db.seqs = append(db.seqs, g)
+	db.live++
+	return id, nil
+}
+
+// AddTombstone reserves and returns the next sequence id as a dead slot:
+// no sequence, no index entries, lookups yield nil — exactly the state
+// Remove leaves behind. The transaction layer (internal/txn) uses it when
+// rebuilding a database from a checkpoint to reproduce the id layout of
+// sequences that were added and later removed, so ids stay stable across
+// restarts.
+func (db *Database) AddTombstone() (uint32, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.pg == nil {
 		return 0, errors.New("core: database closed")
 	}
 	id := uint32(len(db.seqs))
-	s.ID = id
-	for j, m := range g.MBRs {
-		if err := db.tree.Insert(m.Rect, rtree.PackRef(id, uint32(j))); err != nil {
-			return 0, err
-		}
-	}
-	db.seqs = append(db.seqs, g)
-	db.live++
-	db.bumpEpoch()
-	db.met.RecordAdd(time.Since(t0))
-	db.met.SetShape(db.live, db.tree.Len())
+	db.seqs = append(db.seqs, nil)
 	return id, nil
+}
+
+// DirLen returns the length of the sequence directory — the id the next
+// Add would assign. Unlike Len it counts removed slots, since removal
+// never frees an id.
+func (db *Database) DirLen() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.seqs)
 }
 
 // Remove deletes a sequence and all its index entries. The id is not

@@ -11,6 +11,7 @@ const (
 	Clock
 )
 
+// String names the policy for logs and Stats output.
 func (e Eviction) String() string {
 	switch e {
 	case LRU:

@@ -10,6 +10,7 @@
 //	GET    /healthz                   liveness + shard/sequence counts
 //	GET    /stats                     database shape
 //	GET    /metrics                   Prometheus text exposition (with WithMetrics)
+//	GET    /txnz                      WAL/snapshot stats (with mdsserve -durable)
 //	GET    /debug/pprof/...           runtime profiles (with WithPprof)
 //	POST   /sequences                 {label, points} -> {id}
 //	POST   /sequences/batch           {sequences:[...]} -> {ids}
@@ -63,6 +64,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/obs"
 	"repro/internal/shard"
+	"repro/internal/txn"
 )
 
 // maxBodyBytes bounds request bodies (64 MiB covers any realistic batch).
@@ -115,6 +117,7 @@ func New(db shard.DB, opts ...Option) *Server {
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /txnz", s.handleTxnz)
 	s.mux.HandleFunc("POST /sequences", s.handleAdd)
 	s.mux.HandleFunc("POST /sequences/batch", s.handleAddBatch)
 	s.mux.HandleFunc("GET /sequences/{id}", s.handleGet)
@@ -279,6 +282,40 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"indexHeight": s.db.IndexHeight(),
 		"indexFanout": s.db.IndexFanout(),
 	})
+}
+
+// txnStatser is the transaction layer's stats surface (*txn.DB). The
+// server detects it dynamically so deployments without durability pay
+// nothing — /txnz then reports 404.
+type txnStatser interface {
+	Stats() txn.Stats
+}
+
+// handleTxnz serves the transaction layer's commit/WAL/snapshot counters:
+// one Stats object on a single durable node, one per shard on a sharded
+// deployment built over transactional nodes (shard.NewWithNodes).
+func (s *Server) handleTxnz(w http.ResponseWriter, r *http.Request) {
+	if ts, ok := s.db.(txnStatser); ok {
+		writeJSON(w, http.StatusOK, ts.Stats())
+		return
+	}
+	if sdb, ok := s.db.(*shard.ShardedDB); ok {
+		type shardTxnStats struct {
+			Shard int `json:"shard"`
+			txn.Stats
+		}
+		var out []shardTxnStats
+		for i := 0; i < sdb.Shards(); i++ {
+			if ts, ok := sdb.Shard(i).(txnStatser); ok {
+				out = append(out, shardTxnStats{Shard: i, Stats: ts.Stats()})
+			}
+		}
+		if len(out) > 0 {
+			writeJSON(w, http.StatusOK, out)
+			return
+		}
+	}
+	httpError(w, http.StatusNotFound, errors.New("transaction layer not enabled (see mdsserve -durable)"))
 }
 
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/shard"
+	"repro/internal/txn"
 )
 
 func newTestServer(t *testing.T) (*Server, *core.Database) {
@@ -496,5 +497,40 @@ func TestMethodRouting(t *testing.T) {
 	s.ServeHTTP(rec, req)
 	if rec.Code != http.StatusMethodNotAllowed && rec.Code != http.StatusNotFound {
 		t.Errorf("DELETE /stats = %d", rec.Code)
+	}
+}
+
+func TestTxnzWithoutDurability(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := doJSON(t, s, "GET", "/txnz", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /txnz on plain database = %d, want 404", rec.Code)
+	}
+}
+
+func TestTxnzReportsStats(t *testing.T) {
+	base, err := core.NewDatabase(core.Options{Dim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := txn.Wrap(base, txn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	s := New(db)
+
+	doJSON(t, s, "POST", "/sequences", SequenceJSON{Points: [][]float64{{1, 2, 3}, {2, 3, 4}, {3, 4, 5}}})
+
+	rec := doJSON(t, s, "GET", "/txnz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /txnz on transactional database = %d, want 200: %s", rec.Code, rec.Body.String())
+	}
+	var st txn.Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("decoding /txnz body: %v", err)
+	}
+	if st.Commits == 0 {
+		t.Errorf("Commits = 0, want >0 after an ingest")
 	}
 }

@@ -52,8 +52,32 @@ var ErrNoShards = errors.New("shard: shard count must be >= 1")
 // ShardedDB presents N independent single-node databases as one. All
 // methods are safe for concurrent use; writes to different shards never
 // contend on a lock.
+// Node is one shard's full database: the serving surface (DB), the
+// query-path Backend, and the shard-internal hooks the router needs.
+// *core.Database satisfies it, and so does a transactional wrapper
+// (internal/txn) — NewWithNodes assembles a ShardedDB from either, so a
+// durable deployment swaps in WAL-backed per-shard nodes without the
+// router changing. Per-shard writes then commit on independent
+// committers: a write to one shard never blocks reads — or writes — on
+// any other.
+type Node interface {
+	DB
+	Backend
+	// PartitionConfig reports the MCOST segmentation settings in force.
+	PartitionConfig() core.PartitionConfig
+	// CandidatesDmbr runs only phases 1+2 and returns the candidate set.
+	CandidatesDmbr(q *core.Sequence, eps float64) (map[uint32]bool, error)
+}
+
+var _ Node = (*core.Database)(nil)
+
+// ShardedDB routes writes to per-sequence home shards and scatters
+// queries across all of them, merging per-shard results into the same
+// answers a single database holding every sequence would return. It
+// satisfies the same DB surface as *core.Database, so the serving layer
+// is topology-blind.
 type ShardedDB struct {
-	shards []*core.Database
+	shards []Node
 	opts   core.Options
 	met    atomic.Pointer[shardMetrics] // nil until SetMetrics
 	pol    atomic.Pointer[Policy]       // nil until SetPolicy (zero policy)
@@ -76,7 +100,7 @@ func New(opts core.Options, n int) (*ShardedDB, error) {
 	if n < 1 {
 		return nil, ErrNoShards
 	}
-	s := &ShardedDB{shards: make([]*core.Database, n), opts: opts}
+	s := &ShardedDB{shards: make([]Node, n), opts: opts}
 	for i := range s.shards {
 		so := opts
 		if opts.Path != "" && n > 1 {
@@ -94,6 +118,36 @@ func New(opts core.Options, n int) (*ShardedDB, error) {
 	s.backends = make([]Backend, n)
 	for i, db := range s.shards {
 		s.backends[i] = db
+	}
+	return s, nil
+}
+
+// NewWithNodes assembles a ShardedDB over caller-built per-shard nodes —
+// the durability hook: hand it N transactional (internal/txn) databases
+// and the scatter-gather, placement, caching, and fault-tolerance
+// machinery runs unchanged on top of MVCC snapshot reads and WAL-backed
+// commits. All nodes must agree on dimensionality. The ShardedDB takes
+// ownership: Close closes every node.
+func NewWithNodes(nodes []Node) (*ShardedDB, error) {
+	if len(nodes) < 1 {
+		return nil, ErrNoShards
+	}
+	dim := nodes[0].Dim()
+	for i, n := range nodes {
+		if n == nil {
+			return nil, fmt.Errorf("shard: node %d is nil", i)
+		}
+		if n.Dim() != dim {
+			return nil, fmt.Errorf("shard: node %d has dim %d, node 0 has %d", i, n.Dim(), dim)
+		}
+	}
+	s := &ShardedDB{
+		shards: append([]Node(nil), nodes...),
+		opts:   core.Options{Dim: dim, Partition: nodes[0].PartitionConfig()},
+	}
+	s.backends = make([]Backend, len(nodes))
+	for i, n := range s.shards {
+		s.backends[i] = n
 	}
 	return s, nil
 }
@@ -129,8 +183,8 @@ func ShardFor(label string, n int) int {
 // Shards returns the number of shards.
 func (s *ShardedDB) Shards() int { return len(s.shards) }
 
-// Shard exposes shard i's underlying database (for stats and tests).
-func (s *ShardedDB) Shard(i int) *core.Database { return s.shards[i] }
+// Shard exposes shard i's underlying node (for stats and tests).
+func (s *ShardedDB) Shard(i int) Node { return s.shards[i] }
 
 // Dim returns the dimensionality every stored sequence must have.
 func (s *ShardedDB) Dim() int { return s.opts.Dim }
