@@ -30,10 +30,11 @@ import (
 // so concurrent appenders interleave whole records, never bytes.
 const logMagic = "MDSLOG01"
 
-// maxLogRecord bounds a single record's payload (64 MiB) — an
+// MaxLogRecord bounds a single record's payload (64 MiB) — an
 // implausibility guard that turns a corrupt length field into a clean
-// torn-tail stop instead of a giant allocation.
-const maxLogRecord = 64 << 20
+// torn-tail stop instead of a giant allocation. Exported so callers can
+// reject an oversized record before attempting the append.
+const MaxLogRecord = 64 << 20
 
 // ErrLogCorrupt is returned by OpenLog when the file exists but does not
 // start with the log magic — it is some other file, not a torn log.
@@ -123,7 +124,7 @@ func scanLog(f *os.File, size int64, replay func([]byte) error) (int64, error) {
 			return off, nil // clean end or partial length: stop
 		}
 		n := binary.LittleEndian.Uint32(hdr[:])
-		if n == 0 || n > maxLogRecord {
+		if n == 0 || n > MaxLogRecord {
 			return off, nil // implausible length: treat as torn
 		}
 		body := make([]byte, n+4) // payload + crc
@@ -148,7 +149,7 @@ func scanLog(f *os.File, size int64, replay func([]byte) error) (int64, error) {
 // record is durable only after a subsequent Sync returns; group commit
 // appends a batch of records and syncs once for all of them.
 func (l *Log) Append(payload []byte) error {
-	if len(payload) == 0 || len(payload) > maxLogRecord {
+	if len(payload) == 0 || len(payload) > MaxLogRecord {
 		return fmt.Errorf("pager: log record of %d bytes out of range", len(payload))
 	}
 	l.mu.Lock()
@@ -169,12 +170,14 @@ func (l *Log) Append(payload []byte) error {
 }
 
 // Sync fsyncs the log: every record appended before the call is durable
-// once Sync returns.
+// once Sync returns. The mutex is held across the fsync — Rewrite closes
+// the old handle after renaming, so releasing it early could sync a
+// closed file. Appends stall for the fsync's duration, which group
+// commit absorbs by batching.
 func (l *Log) Sync() error {
 	l.mu.Lock()
-	f := l.f
-	l.mu.Unlock()
-	return f.Sync()
+	defer l.mu.Unlock()
+	return l.f.Sync()
 }
 
 // Size returns the log file size in bytes (header included) — the

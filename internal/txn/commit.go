@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/pager"
 )
 
 // maxGroup bounds how many requests share one fsync, keeping the encoded
@@ -120,6 +121,21 @@ func (db *DB) beginPending() *state {
 	return pend
 }
 
+// discardPending abandons a pending state whose group could not be made
+// durable. Restarting from the published state is not enough on its own:
+// the committer's mirror maps still carry the discarded group's
+// mutations (an overlayIdx entry pointing past the pending overlays, a
+// removedSet entry for a live id), so they are rebuilt from the fresh
+// state; and the group's LSNs were never published, so they are returned
+// to keep the LSN sequence gap-free (handleRebase sizes the tail by LSN
+// arithmetic).
+func (db *DB) discardPending(recs []tailRec) *state {
+	db.nextLSN -= uint64(len(recs))
+	pend := db.beginPending()
+	db.work.reset(pend)
+	return pend
+}
+
 // flushGroup makes the group's records durable, publishes the pending
 // state, and acknowledges the requests — in that order, so an
 // acknowledged commit is always on disk (unless NoFsync) and always
@@ -132,7 +148,7 @@ func (db *DB) flushGroup(pend *state, group []*commitReq, recs []tailRec) *state
 		for _, req := range group {
 			req.resp <- commitRes{err: errWedged}
 		}
-		return db.beginPending()
+		return db.discardPending(recs)
 	}
 	if db.log != nil {
 		preSize := db.log.Size()
@@ -165,7 +181,7 @@ func (db *DB) flushGroup(pend *state, group []*commitReq, recs []tailRec) *state
 			for _, req := range group {
 				req.resp <- commitRes{err: fmt.Errorf("txn: commit not durable: %w", err)}
 			}
-			return db.beginPending() // discard the group's state changes
+			return db.discardPending(recs)
 		}
 		for _, r := range recs {
 			db.stats.walBytes.Add(uint64(len(r.payload)))
@@ -217,6 +233,17 @@ func (db *DB) flushGroup(pend *state, group []*commitReq, recs []tailRec) *state
 // its WAL record. On error pend (and the mirror maps) are left exactly
 // as before the call and no LSN is consumed.
 func (db *DB) applyReq(pend *state, req *commitReq) (firstID uint32, rec tailRec, err error) {
+	// Reject a commit the record format (or the log) cannot carry before
+	// applying anything, so one oversized request fails alone instead of
+	// failing its whole group at append time.
+	if len(req.ops) > maxRecOps {
+		return 0, tailRec{}, fmt.Errorf("txn: commit of %d ops exceeds the %d-op record limit; split the batch", len(req.ops), maxRecOps)
+	}
+	if db.log != nil {
+		if n := recordSize(req.ops, db.base.Dim()); n > pager.MaxLogRecord {
+			return 0, tailRec{}, fmt.Errorf("txn: commit encodes to %d bytes, exceeding the %d-byte WAL record limit; split the batch", n, pager.MaxLogRecord)
+		}
+	}
 	firstID, err = db.applyOps(pend, req.ops)
 	if err != nil {
 		return 0, tailRec{}, err

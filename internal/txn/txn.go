@@ -325,6 +325,9 @@ func (db *DB) partitionFor(s *core.Sequence) (*core.Segmented, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	if len(s.Label) > maxLabelLen {
+		return nil, fmt.Errorf("txn: label of %d bytes exceeds the %d-byte limit", len(s.Label), maxLabelLen)
+	}
 	if s.Dim() != db.base.Dim() {
 		return nil, fmt.Errorf("txn: sequence dim %d, database dim %d: %w",
 			s.Dim(), db.base.Dim(), geom.ErrDimensionMismatch)

@@ -14,7 +14,7 @@ import (
 // log frames it with a length prefix and CRC):
 //
 //	lsn   u64
-//	nops  u16
+//	nops  u32
 //	nops × op:
 //	  'A'  labelLen u16, label bytes, npts u32, npts × dim × f64
 //	  'P'  id u32, npts u32, npts × dim × f64
@@ -29,15 +29,22 @@ import (
 // not decode — a foreign or version-skewed file.
 var ErrBadRecord = errors.New("txn: bad WAL record")
 
-// Decode limits, guarding allocations on corrupt input.
+// Format limits. The commit path enforces maxRecOps and maxLabelLen
+// before applying a request (see applyReq/partitionFor), so every
+// acknowledged commit encodes into a decodable record; the decoder
+// re-checks them to guard allocations on corrupt input.
 const (
-	maxRecOps    = 1 << 20
+	maxRecOps    = 1 << 20    // ops per commit record
+	maxLabelLen  = 1<<16 - 1  // label bytes (stored as u16)
 	maxRecPoints = 1 << 28
 )
 
-// encodeRecord serializes one commit's ops under the given LSN.
-func encodeRecord(lsn uint64, ops []op, dim int) []byte {
-	n := 8 + 2
+// recordSize computes the encoded payload size of a commit, so the
+// committer can reject a record the log would refuse (pager.MaxLogRecord)
+// before applying any of its ops. Requires every opAdd to carry a
+// partitioned sequence (true on the commit path; replay never re-encodes).
+func recordSize(ops []op, dim int) int {
+	n := 8 + 4
 	for _, o := range ops {
 		switch o.kind {
 		case opAdd:
@@ -48,9 +55,14 @@ func encodeRecord(lsn uint64, ops []op, dim int) []byte {
 			n += 1 + 4
 		}
 	}
-	buf := make([]byte, 0, n)
+	return n
+}
+
+// encodeRecord serializes one commit's ops under the given LSN.
+func encodeRecord(lsn uint64, ops []op, dim int) []byte {
+	buf := make([]byte, 0, recordSize(ops, dim))
 	buf = binary.LittleEndian.AppendUint64(buf, lsn)
-	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(ops)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ops)))
 	for _, o := range ops {
 		buf = append(buf, o.kind)
 		switch o.kind {
@@ -86,7 +98,7 @@ func appendPoints(buf []byte, pts []geom.Point) []byte {
 func decodeRecord(payload []byte, dim int) (lsn uint64, ops []op, err error) {
 	r := recReader{buf: payload}
 	lsn = r.u64()
-	nops := int(r.u16())
+	nops := int(r.u32())
 	if r.err != nil || nops > maxRecOps {
 		return 0, nil, ErrBadRecord
 	}
