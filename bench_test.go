@@ -8,6 +8,7 @@
 package mdseq_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/fractal"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/video"
 )
 
@@ -290,10 +292,14 @@ func BenchmarkShardedKNN(b *testing.B) {
 // --- observability: registry overhead on the hot path -------------------
 
 // BenchmarkSearchInstrumentation runs the identical three-phase search
-// with and without a metrics registry wired in. The recorder is a
-// handful of pre-resolved atomic operations per search, so the two
-// sub-benchmarks should be within ~2% of each other; compare their
-// ns/op to confirm instrumentation stays off the critical path.
+// at three instrumentation levels: bare, with a metrics registry wired
+// in, and with the full flight-recorder path (a per-query trace through
+// SearchCtx plus recorder retention). Metrics are pre-resolved atomic
+// operations, so instrumented must stay within ~2% of bare — the
+// always-on budget. traced measures what a request pays only when a
+// trace rides its context (span records and the retention snapshot);
+// that cost is per-request opt-in, not part of the always-on budget,
+// and is reported here so regressions in it are visible too.
 func BenchmarkSearchInstrumentation(b *testing.B) {
 	syn, _ := setupBenches(b)
 	seqs := syn.DB.Sequences()
@@ -301,12 +307,9 @@ func BenchmarkSearchInstrumentation(b *testing.B) {
 	for i, s := range seqs {
 		cloned[i] = s.Clone()
 	}
-	for _, instrumented := range []bool{false, true} {
-		name := "bare"
-		if instrumented {
-			name = "instrumented"
-		}
-		b.Run(name, func(b *testing.B) {
+	for _, mode := range []string{"bare", "instrumented", "traced"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
 			db, err := mdseq.Open(mdseq.Options{Dim: 3})
 			if err != nil {
 				b.Fatal(err)
@@ -315,12 +318,23 @@ func BenchmarkSearchInstrumentation(b *testing.B) {
 			if _, err := db.AddAll(cloned); err != nil {
 				b.Fatal(err)
 			}
-			if instrumented {
+			if mode != "bare" {
 				db.SetMetrics(mdseq.NewMetricsRegistry())
 			}
+			rec := obs.NewRecorder(obs.RecorderConfig{})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q := syn.Queries[i%len(syn.Queries)]
+				if mode == "traced" {
+					tr := obs.NewTrace()
+					rec.Start(tr)
+					ctx := obs.WithTrace(context.Background(), tr)
+					if _, _, err := db.SearchCtx(ctx, q, 0.20); err != nil {
+						b.Fatal(err)
+					}
+					rec.End(tr)
+					continue
+				}
 				if _, _, err := db.Search(q, 0.20); err != nil {
 					b.Fatal(err)
 				}

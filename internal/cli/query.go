@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +31,7 @@ func Query(args []string, stdout io.Writer) error {
 		explain  = fs.Bool("explain", false, "print per-sequence pruning decisions")
 		shards   = fs.Int("shards", 1, "hash-partition the corpus over this many shards (scatter-gather search)")
 		metrics  = fs.Bool("metrics", false, "record into a metrics registry and print its Prometheus dump after the run")
+		trace    = fs.Bool("trace", false, "trace the query and print its span tree (phases, attributes, per-shard spans) after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,7 +88,13 @@ func Query(args []string, stdout io.Writer) error {
 		db.Len(), db.NumMBRs(), db.IndexHeight(), db.Shards(), time.Since(t0).Round(time.Millisecond))
 	fmt.Fprintf(stdout, "query: %d points from %s[%d:%d], eps=%.3f\n", q.Len(), src.Label, *from, end, *eps)
 
-	matches, stats, err := db.Search(q, *eps)
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *trace {
+		tr = obs.NewTrace()
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	matches, stats, err := db.SearchCtx(ctx, q, *eps)
 	if err != nil {
 		return err
 	}
@@ -114,7 +122,7 @@ func Query(args []string, stdout io.Writer) error {
 	}
 
 	if *knn > 0 {
-		nn, err := db.SearchKNN(q, *knn)
+		nn, err := db.SearchKNNCtx(ctx, q, *knn)
 		if err != nil {
 			return err
 		}
@@ -154,6 +162,11 @@ func Query(args []string, stdout io.Writer) error {
 				fmt.Fprintf(stdout, "  WARNING: false dismissal of sequence %d (D=%.4f)\n", r.SeqID, r.Dist)
 			}
 		}
+	}
+
+	if tr != nil {
+		fmt.Fprintln(stdout, "\n# trace (span tree)")
+		tr.Snapshot().WriteTree(stdout)
 	}
 
 	if reg != nil {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // SearchBatch answers several range queries with one pass over the
@@ -62,6 +63,9 @@ func (db *Database) SearchBatchCtx(ctx context.Context, qs []*Sequence, eps floa
 		}
 	}
 
+	tr := obs.FromContext(ctx)
+	t0 := time.Now()
+
 	// Dedup by fingerprint: identical queries collapse to one slot. The
 	// fingerprint doubles as the cache key, so the epoch snapshot below
 	// covers exactly the queries that will be computed.
@@ -98,6 +102,12 @@ func (db *Database) SearchBatchCtx(ctx context.Context, qs []*Sequence, eps floa
 		if err := db.searchBatchLocked(ctx, uniq, eps); err != nil {
 			return nil, nil, err
 		}
+	}
+	if tr != nil {
+		tr.RecordSpan(obs.SpanFromContext(ctx), "batch", time.Since(t0),
+			obs.Int("queries", len(qs)),
+			obs.Int("unique", len(uniq)),
+			obs.Int("cache_hits", len(uniq)-pending))
 	}
 
 	outs := make([][]Match, len(qs))

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/pager"
 	"repro/internal/rtree"
 )
@@ -463,7 +464,11 @@ func (db *Database) SearchCtx(ctx context.Context, q *Sequence, eps float64) ([]
 	// any write that lands after this point bumps the epoch past the
 	// snapshot, so the entry we might store below can never be served.
 	ref := db.rangeRef(q, eps)
+	tr := obs.FromContext(ctx)
 	if ms, cst, ok := ref.getRange(); ok {
+		if tr != nil {
+			tr.RecordSpan(obs.SpanFromContext(ctx), "cache-hit", 0, obs.Str("tier", "result"))
+		}
 		return ms, cst, nil
 	}
 
@@ -491,6 +496,10 @@ func (db *Database) SearchCtx(ctx context.Context, q *Sequence, eps float64) ([]
 	sc.segmentQuery(q, db.opts.Partition)
 	st.QueryMBRs = len(sc.qmbrs)
 	st.Phase1 = time.Since(t0)
+	if tr != nil {
+		tr.RecordSpan(obs.SpanFromContext(ctx), "partition", st.Phase1,
+			obs.Int("query_mbrs", st.QueryMBRs))
+	}
 
 	// Phase 2: first pruning. Any sequence owning an MBR within Dmbr ≤ ε
 	// of any query MBR becomes a candidate. The flat kernel compares in
@@ -513,6 +522,13 @@ func (db *Database) SearchCtx(ctx context.Context, q *Sequence, eps float64) ([]
 	ids := sortDedupUint32(sc.ids)
 	st.CandidatesDmbr = len(ids)
 	st.Phase2 = time.Since(t1)
+	if tr != nil {
+		tr.RecordSpan(obs.SpanFromContext(ctx), "filter", st.Phase2,
+			obs.Int("candidates_in", st.TotalSequences),
+			obs.Int("index_entries", st.IndexEntriesHit),
+			obs.Int("candidates_out", st.CandidatesDmbr),
+			obs.Float("pruned_frac", prunedFrac(st.TotalSequences, st.CandidatesDmbr)))
+	}
 
 	// Phase 3: second pruning with Dnorm; qualifying windows accumulate
 	// into the solution interval.
@@ -533,6 +549,13 @@ func (db *Database) SearchCtx(ctx context.Context, q *Sequence, eps float64) ([]
 	}
 	st.MatchesDnorm = len(out)
 	st.Phase3 = time.Since(t2)
+	if tr != nil {
+		tr.RecordSpan(obs.SpanFromContext(ctx), "refine", st.Phase3,
+			obs.Int("candidates_in", st.CandidatesDmbr),
+			obs.Int("dnorm_evals", st.DnormEvals),
+			obs.Int("matches", st.MatchesDnorm),
+			obs.Float("pruned_frac", prunedFrac(st.CandidatesDmbr, st.MatchesDnorm)))
+	}
 	st.CPUTime = st.Total()
 	db.met.RecordSearch(st)
 	ref.putRange(out, st)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // KNNResult is one ranked result of a k-nearest-sequences query.
@@ -75,9 +76,13 @@ func (db *Database) SearchKNNBoundedCtx(ctx context.Context, q *Sequence, k int,
 	// scatter layer's running k-th best), not part of the query, so keying
 	// on it would fragment the cache for results that are strict subsets.
 	var ref cacheRef
+	tr := obs.FromContext(ctx)
 	if math.IsInf(bound, 1) {
 		ref = db.knnRef(q, k)
 		if rs, ok := ref.getKNN(); ok {
+			if tr != nil {
+				tr.RecordSpan(obs.SpanFromContext(ctx), "cache-hit", 0, obs.Str("tier", "result"))
+			}
 			return rs, nil
 		}
 	}
@@ -141,7 +146,15 @@ func (db *Database) SearchKNNBoundedCtx(ctx context.Context, q *Sequence, k int,
 			worst = out[len(out)-1].Dist
 		}
 	}
-	db.met.RecordKNN(time.Since(t0), refined, candidates-refined)
+	took := time.Since(t0)
+	if tr != nil {
+		tr.RecordSpan(obs.SpanFromContext(ctx), "knn", took,
+			obs.Int("k", k),
+			obs.Int("candidates", candidates),
+			obs.Int("refined", refined),
+			obs.Float("pruned_frac", prunedFrac(candidates, refined)))
+	}
+	db.met.RecordKNN(took, refined, candidates-refined)
 	ref.putKNN(out)
 	return out, nil
 }

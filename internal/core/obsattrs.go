@@ -1,0 +1,11 @@
+package core
+
+// prunedFrac is the fraction of candidates a filter phase eliminated —
+// the selectivity the paper's Lemmas 1–3 exist to maximize, attached as a
+// span attribute so a retained trace explains its own latency.
+func prunedFrac(in, out int) float64 {
+	if in <= 0 {
+		return 0
+	}
+	return 1 - float64(out)/float64(in)
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // SearchParallel is Search with phase 3 fanned out over a worker pool.
@@ -49,7 +50,11 @@ func (db *Database) SearchParallelCtx(ctx context.Context, q *Sequence, eps floa
 	// one, so it shares the serial path's cache entries (see SearchCtx
 	// for the epoch-snapshot ordering argument).
 	ref := db.rangeRef(q, eps)
+	tr := obs.FromContext(ctx)
 	if ms, cst, ok := ref.getRange(); ok {
+		if tr != nil {
+			tr.RecordSpan(obs.SpanFromContext(ctx), "cache-hit", 0, obs.Str("tier", "result"))
+		}
 		return ms, cst, nil
 	}
 
@@ -73,6 +78,10 @@ func (db *Database) SearchParallelCtx(ctx context.Context, q *Sequence, eps floa
 	sc.segmentQuery(q, db.opts.Partition)
 	st.QueryMBRs = len(sc.qmbrs)
 	st.Phase1 = time.Since(t0)
+	if tr != nil {
+		tr.RecordSpan(obs.SpanFromContext(ctx), "partition", st.Phase1,
+			obs.Int("query_mbrs", st.QueryMBRs))
+	}
 
 	t1 := time.Now()
 	sc.refs = sc.refs[:0]
@@ -91,6 +100,13 @@ func (db *Database) SearchParallelCtx(ctx context.Context, q *Sequence, eps floa
 	ids := sortDedupUint32(sc.ids)
 	st.CandidatesDmbr = len(ids)
 	st.Phase2 = time.Since(t1)
+	if tr != nil {
+		tr.RecordSpan(obs.SpanFromContext(ctx), "filter", st.Phase2,
+			obs.Int("candidates_in", st.TotalSequences),
+			obs.Int("index_entries", st.IndexEntriesHit),
+			obs.Int("candidates_out", st.CandidatesDmbr),
+			obs.Float("pruned_frac", prunedFrac(st.TotalSequences, st.CandidatesDmbr)))
+	}
 
 	t2 := time.Now()
 
@@ -158,6 +174,14 @@ feed:
 	}
 	st.MatchesDnorm = len(out)
 	st.Phase3 = time.Since(t2)
+	if tr != nil {
+		tr.RecordSpan(obs.SpanFromContext(ctx), "refine", st.Phase3,
+			obs.Int("candidates_in", st.CandidatesDmbr),
+			obs.Int("dnorm_evals", st.DnormEvals),
+			obs.Int("matches", st.MatchesDnorm),
+			obs.Int("workers", workers),
+			obs.Float("pruned_frac", prunedFrac(st.CandidatesDmbr, st.MatchesDnorm)))
+	}
 	st.CPUTime = st.Phase1 + st.Phase2 + time.Duration(busyNS.Load())
 	db.met.RecordSearch(st)
 	ref.putRange(out, st)

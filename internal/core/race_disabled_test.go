@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is active; tests whose
+// measurement the detector deliberately perturbs key off it.
+const raceEnabled = false

@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusStrictConformance populates a registry from many
+// goroutines while exposition runs concurrently, then strictly parses
+// the final output against the text format 0.0.4 grammar: HELP/TYPE
+// ordering, one TYPE per family, contiguous families, charset-valid
+// names, quoted+escaped label values, parseable sample values, no
+// duplicate series, and cumulative le buckets with _count == +Inf.
+// Run with -race: the interleaved WritePrometheus calls are the point.
+func TestWritePrometheusStrictConformance(t *testing.T) {
+	reg := NewRegistry()
+	const writers, iters = 8, 300
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shard := Label{Key: "shard", Value: strconv.Itoa(w % 3)}
+			for i := 0; i < iters; i++ {
+				reg.Counter("conf_requests_total", "Requests.", shard).Inc()
+				reg.Gauge("conf_inflight", "In flight.").Set(float64(i))
+				reg.Histogram("conf_latency_seconds", "Latency.", nil, shard).Observe(float64(i%7) / 100)
+				reg.Counter("conf_tricky_total", "Help with \\ backslash\nand newline.",
+					Label{Key: "path", Value: `a"b\c` + "\nd"}).Inc()
+				if i%50 == 0 {
+					var sink strings.Builder
+					if err := reg.WritePrometheus(&sink); err != nil {
+						t.Errorf("concurrent WritePrometheus: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var out strings.Builder
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.HasSuffix(text, "\n") {
+		t.Fatal("exposition must end in a newline")
+	}
+	checkExposition(t, text)
+
+	// Spot-check the totals actually add up after the concurrent run.
+	var reqTotal uint64
+	for w := 0; w < 3; w++ {
+		reqTotal += reg.Counter("conf_requests_total", "Requests.", Label{Key: "shard", Value: strconv.Itoa(w)}).Value()
+	}
+	if want := uint64(writers * iters); reqTotal != want {
+		t.Fatalf("conf_requests_total sums to %d, want %d", reqTotal, want)
+	}
+}
+
+// checkExposition strictly validates a text-format 0.0.4 document.
+func checkExposition(t *testing.T, text string) {
+	t.Helper()
+	type famState struct {
+		typ     string
+		sawType bool
+		closed  bool // a later family started; reappearing is an error
+	}
+	fams := map[string]*famState{}
+	var cur string
+	seenSeries := map[string]bool{}
+	// Histogram bucket accounting per series prefix (name+labels minus le).
+	lastBucket := map[string]uint64{}
+	infBucket := map[string]uint64{}
+
+	for ln, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: blank line in exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || help == "" {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			if !validMetricName(name) {
+				t.Fatalf("line %d: HELP for invalid name %q", ln+1, name)
+			}
+			if strings.Contains(help, "\n") {
+				t.Fatalf("line %d: unescaped newline in help", ln+1)
+			}
+			if f := fams[name]; f != nil {
+				t.Fatalf("line %d: duplicate HELP for %s", ln+1, name)
+			}
+			fams[name] = &famState{}
+			if cur != "" && fams[cur] != nil {
+				fams[cur].closed = true
+			}
+			cur = name
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("line %d: unknown TYPE %q", ln+1, typ)
+			}
+			f := fams[name]
+			if f == nil {
+				// TYPE without HELP is legal; HELP, when present, precedes.
+				f = &famState{}
+				fams[name] = f
+				if cur != "" && fams[cur] != nil {
+					fams[cur].closed = true
+				}
+				cur = name
+			} else if name != cur {
+				t.Fatalf("line %d: TYPE %s interleaves family %s", ln+1, name, cur)
+			}
+			if f.sawType {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			if f.closed {
+				t.Fatalf("line %d: family %s reappears after another family", ln+1, name)
+			}
+			f.typ, f.sawType = typ, true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		}
+
+		// Sample line: name[{labels}] value
+		name, labels, value := splitSample(t, ln+1, line)
+		base := name
+		f := fams[cur]
+		if f == nil || !f.sawType {
+			t.Fatalf("line %d: sample %s before its TYPE", ln+1, name)
+		}
+		switch f.typ {
+		case "histogram":
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				base = strings.TrimSuffix(name, "_bucket")
+			case strings.HasSuffix(name, "_sum"):
+				base = strings.TrimSuffix(name, "_sum")
+			case strings.HasSuffix(name, "_count"):
+				base = strings.TrimSuffix(name, "_count")
+			default:
+				t.Fatalf("line %d: histogram sample %s lacks _bucket/_sum/_count suffix", ln+1, name)
+			}
+		}
+		if base != cur {
+			t.Fatalf("line %d: sample %s under family %s", ln+1, name, cur)
+		}
+		if !validMetricName(name) {
+			t.Fatalf("line %d: invalid sample name %q", ln+1, name)
+		}
+		le, labelKey := parseLabels(t, ln+1, labels)
+		if seenSeries[name+labelKey] {
+			t.Fatalf("line %d: duplicate series %s%s", ln+1, name, labelKey)
+		}
+		seenSeries[name+labelKey] = true
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+			t.Fatalf("line %d: unparseable value %q: %v", ln+1, value, err)
+		}
+		if f.typ == "histogram" && strings.HasSuffix(name, "_bucket") {
+			if le == "" {
+				t.Fatalf("line %d: bucket sample without le label", ln+1)
+			}
+			series := base + stripLE(labelKey)
+			n := uint64(v)
+			if n < lastBucket[series] {
+				t.Fatalf("line %d: le buckets not cumulative for %s: %d < %d", ln+1, series, n, lastBucket[series])
+			}
+			lastBucket[series] = n
+			if le == "+Inf" {
+				infBucket[series] = n
+			}
+		}
+		if f.typ == "histogram" && strings.HasSuffix(name, "_count") {
+			series := base + labelKey
+			if inf, ok := infBucket[series]; !ok || uint64(v) != inf {
+				t.Fatalf("line %d: %s_count = %v but le=+Inf bucket = %d", ln+1, base, v, inf)
+			}
+		}
+	}
+	for name, f := range fams {
+		if !f.sawType {
+			t.Fatalf("family %s has HELP but no TYPE", name)
+		}
+	}
+}
+
+// splitSample breaks a sample line into name, rendered label string
+// (may be ""), and value text.
+func splitSample(t *testing.T, ln int, line string) (name, labels, value string) {
+	t.Helper()
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		t.Fatalf("line %d: no value separator in %q", ln, line)
+	}
+	series, value := line[:sp], line[sp+1:]
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		if !strings.HasSuffix(series, "}") {
+			t.Fatalf("line %d: unterminated label set in %q", ln, line)
+		}
+		return series[:i], series[i:], value
+	}
+	return series, "", value
+}
+
+// parseLabels strictly validates a {k="v",...} label rendering and
+// returns the le value (if any) plus a canonical key for duplicate
+// detection.
+func parseLabels(t *testing.T, ln int, labels string) (le, key string) {
+	t.Helper()
+	if labels == "" {
+		return "", ""
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var parts []string
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || len(body) < eq+2 || body[eq+1] != '"' {
+			t.Fatalf("line %d: malformed label pair in %q", ln, labels)
+		}
+		k := body[:eq]
+		if !validLabelName(k) {
+			t.Fatalf("line %d: invalid label name %q", ln, k)
+		}
+		// Scan the quoted value honoring backslash escapes.
+		i := eq + 2
+		for ; i < len(body); i++ {
+			if body[i] == '\\' {
+				if i+1 >= len(body) {
+					t.Fatalf("line %d: dangling escape in %q", ln, labels)
+				}
+				if c := body[i+1]; c != '\\' && c != '"' && c != 'n' {
+					t.Fatalf("line %d: invalid escape \\%c in %q", ln, c, labels)
+				}
+				i++
+				continue
+			}
+			if body[i] == '"' {
+				break
+			}
+			if body[i] == '\n' {
+				t.Fatalf("line %d: raw newline in label value", ln)
+			}
+		}
+		if i >= len(body) {
+			t.Fatalf("line %d: unterminated label value in %q", ln, labels)
+		}
+		v := body[eq+2 : i]
+		if k == "le" {
+			le = v
+		}
+		parts = append(parts, fmt.Sprintf("%s=%q", k, v))
+		body = body[i+1:]
+		if strings.HasPrefix(body, ",") {
+			body = body[1:]
+			if body == "" {
+				t.Fatalf("line %d: trailing comma in %q", ln, labels)
+			}
+		} else if body != "" {
+			t.Fatalf("line %d: junk after label value in %q", ln, labels)
+		}
+	}
+	return le, "{" + strings.Join(parts, ",") + "}"
+}
+
+// stripLE removes the le pair from a canonical label key so bucket
+// series of one histogram series group together.
+func stripLE(labelKey string) string {
+	if labelKey == "" {
+		return ""
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(labelKey, "{"), "}")
+	var keep []string
+	for _, p := range strings.Split(body, ",") {
+		if !strings.HasPrefix(p, `le=`) {
+			keep = append(keep, p)
+		}
+	}
+	if len(keep) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(keep, ",") + "}"
+}

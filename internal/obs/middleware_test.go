@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareHonorsClientRequestID(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	var inHandler string
+	h := Middleware(nil, logger, nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inHandler = FromContext(r.Context()).ID
+	}))
+	req := httptest.NewRequest("GET", "/search", nil)
+	req.Header.Set("X-Request-ID", "upstream-7.f3")
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+
+	if got := rw.Header().Get("X-Request-ID"); got != "upstream-7.f3" {
+		t.Fatalf("response X-Request-ID = %q, want the client's upstream-7.f3", got)
+	}
+	if inHandler != "upstream-7.f3" {
+		t.Fatalf("handler saw trace ID %q, want upstream-7.f3", inHandler)
+	}
+	if !strings.Contains(buf.String(), `"requestID":"upstream-7.f3"`) {
+		t.Fatalf("wide-event line did not carry the client ID:\n%s", buf.String())
+	}
+}
+
+func TestMiddlewareRejectsInvalidRequestID(t *testing.T) {
+	for _, bad := range []string{strings.Repeat("x", 65), "evil id", "inject\"quote", "new\nline"} {
+		h := Middleware(nil, nil, nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+		req := httptest.NewRequest("GET", "/", nil)
+		req.Header.Set("X-Request-ID", bad)
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+		got := rw.Header().Get("X-Request-ID")
+		if got == bad || got == "" {
+			t.Fatalf("invalid client ID %q must be replaced with a generated one, got %q", bad, got)
+		}
+		if !ValidRequestID(got) {
+			t.Fatalf("generated fallback ID %q is itself invalid", got)
+		}
+	}
+}
+
+func TestMiddlewareFeedsRecorder(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{})
+	h := Middleware(nil, nil, rec, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if len(rec.Active()) != 1 {
+			t.Error("request not in the active table while being served")
+		}
+		w.WriteHeader(http.StatusBadGateway)
+	}))
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/search", nil))
+
+	if n := len(rec.Active()); n != 0 {
+		t.Fatalf("active table has %d rows after completion, want 0", n)
+	}
+	dump := rec.Dump()
+	if len(dump.Errored) != 1 {
+		t.Fatalf("errored retained %d, want the 502 request", len(dump.Errored))
+	}
+	snap := dump.Errored[0]
+	if snap.Status != "error" || snap.Err != http.StatusText(http.StatusBadGateway) {
+		t.Fatalf("snapshot status %q err %q, want error/%s", snap.Status, snap.Err, http.StatusText(http.StatusBadGateway))
+	}
+	if snap.Attrs["method"] != "GET" || snap.Attrs["path"] != "/search" {
+		t.Fatalf("wide-event attrs missing method/path: %v", snap.Attrs)
+	}
+}

@@ -1,8 +1,12 @@
 // Package obs is the observability substrate for mdseq: a stdlib-only
 // metrics registry (atomic counters, gauges, and fixed-bucket latency
-// histograms with a Prometheus text-exposition encoder) plus lightweight
-// per-request tracing (request IDs and named span timings propagated via
-// context.Context).
+// histograms with a Prometheus text-exposition encoder), lightweight
+// per-request tracing (request IDs and attributed, nestable span timings
+// propagated via context.Context), a flight recorder (Recorder) that
+// retains the slowest and errored traces per latency bucket and serves
+// them at /debug/tracez alongside an in-flight table at /debug/requestz,
+// and a runtime collector polling runtime/metrics (goroutines, heap, GC
+// pauses, GC CPU) into the registry.
 //
 // The paper's value proposition is pruning effectiveness — how few
 // sequences survive the Dmbr and Dnorm filters (Lemmas 1–3) and reach the

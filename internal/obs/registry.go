@@ -44,19 +44,25 @@ func NewRegistry() *Registry {
 }
 
 // lookup returns the instrument for (name, labels), creating family and
-// series as needed. Re-registering the same name with a different type is
-// a programming error and panics; help text from the first registration
-// wins.
+// series as needed. Re-registering the same name with a different type or
+// (for histograms) different bucket bounds is a programming error and
+// panics, as is a metric name outside the Prometheus charset; help text
+// from the first registration wins.
 func (r *Registry) lookup(name, help, typ string, buckets []float64, labels []Label, make func() metric) metric {
 	ls := renderLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f, ok := r.families[name]
 	if !ok {
+		if !validMetricName(name) {
+			panic(fmt.Sprintf("obs: invalid metric name %q (want [a-zA-Z_:][a-zA-Z0-9_:]*)", name))
+		}
 		f = &family{name: name, help: help, typ: typ, buckets: buckets, series: map[string]metric{}}
 		r.families[name] = f
 	} else if f.typ != typ {
 		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	} else if typ == "histogram" && !equalBounds(f.buckets, buckets) {
+		panic(fmt.Sprintf("obs: histogram %q registered with buckets %v, requested with %v", name, f.buckets, buckets))
 	}
 	m, ok := f.series[ls]
 	if !ok {
@@ -64,6 +70,84 @@ func (r *Registry) lookup(name, help, typ string, buckets []float64, labels []La
 		f.series[ls] = m
 	}
 	return m
+}
+
+// validMetricName reports whether name matches the Prometheus metric
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches the Prometheus label
+// charset [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// equalBounds reports whether two sorted bucket-bound slices are equal.
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FamilyInfo describes one registered metric family — the shape tooling
+// (scripts/checkmetrics) freezes to catch accidental renames.
+type FamilyInfo struct {
+	// Name is the metric family name.
+	Name string
+	// Type is "counter", "gauge", or "histogram".
+	Type string
+	// Help is the family's help text.
+	Help string
+}
+
+// Families returns the registered families sorted by name.
+func (r *Registry) Families() []FamilyInfo {
+	r.mu.Lock()
+	out := make([]FamilyInfo, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, FamilyInfo{Name: f.name, Type: f.typ, Help: f.help})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Counter returns the monotonically increasing counter for (name,
@@ -82,21 +166,15 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 // Histogram returns the fixed-bucket histogram for (name, labels),
 // registering it on first use. buckets are the upper bounds (ascending,
 // +Inf appended implicitly); nil uses LatencyBuckets. All series of one
-// family share the bounds of the first registration.
+// family share the bounds of the first registration; re-registering the
+// family with different bounds panics — divergent ladders would silently
+// mis-bucket whichever caller lost the race.
 func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
 	if buckets == nil {
 		buckets = LatencyBuckets
 	}
-	var bounds []float64
-	r.mu.Lock()
-	if f, ok := r.families[name]; ok {
-		bounds = f.buckets
-	}
-	r.mu.Unlock()
-	if bounds == nil {
-		bounds = append([]float64(nil), buckets...)
-		sort.Float64s(bounds)
-	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
 	return r.lookup(name, help, "histogram", bounds, labels, func() metric {
 		return newHistogram(bounds)
 	}).(*Histogram)
@@ -284,7 +362,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // renderLabels serializes a label set as {k="v",...} with keys sorted, or
-// "" for no labels.
+// "" for no labels. Label keys are validated against the Prometheus label
+// charset (panic on violation) — a key is emitted unquoted, so unlike a
+// value it cannot be escaped into validity and a bad one would corrupt
+// every line of the family's exposition.
 func renderLabels(labels []Label) string {
 	if len(labels) == 0 {
 		return ""
@@ -296,6 +377,9 @@ func renderLabels(labels []Label) string {
 	for i, l := range ls {
 		if i > 0 {
 			b.WriteByte(',')
+		}
+		if !validLabelName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q (want [a-zA-Z_][a-zA-Z0-9_]*)", l.Key))
 		}
 		b.WriteString(l.Key)
 		b.WriteString(`="`)

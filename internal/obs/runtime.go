@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Runtime sample names polled from runtime/metrics. gcPausesAlt is the
+// pre-1.22 spelling kept as a fallback.
+const (
+	rmGoroutines  = "/sched/goroutines:goroutines"
+	rmHeapBytes   = "/memory/classes/heap/objects:bytes"
+	rmGCPauses    = "/sched/pauses/total/gc:seconds"
+	rmGCPausesAlt = "/gc/pauses:seconds"
+	rmGCCPU       = "/cpu/classes/gc/total:cpu-seconds"
+	rmTotalCPU    = "/cpu/classes/total:cpu-seconds"
+)
+
+// RuntimeCollector polls runtime/metrics into an obs Registry on a
+// ticker, exposing the Go runtime's health next to the application
+// metrics: goroutine count, live heap bytes, a GC pause histogram, and
+// the fraction of CPU spent in GC.
+type RuntimeCollector struct {
+	goroutines *Gauge
+	heapBytes  *Gauge
+	gcCPU      *Gauge
+	gcPause    *Histogram
+
+	samples   []metrics.Sample
+	pauseName string
+
+	// prevPause holds the cumulative runtime pause histogram counts from
+	// the previous poll; each Collect observes only the delta, converting
+	// the runtime's cumulative histogram into the registry's.
+	prevPause []uint64
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// gcPauseBuckets spans 1µs..100ms — typical Go GC stop-the-world pauses
+// are well under a millisecond; the tail buckets catch pathology.
+var gcPauseBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1,
+}
+
+// NewRuntimeCollector registers the runtime metric families on reg and
+// returns a collector ready to Start. The first Collect observes only GC
+// pauses that happen after construction (the cumulative baseline is taken
+// here), so a long-running process's startup GCs don't land in one poll.
+func NewRuntimeCollector(reg *Registry) *RuntimeCollector {
+	c := &RuntimeCollector{
+		goroutines: reg.Gauge("go_goroutines", "Number of live goroutines."),
+		heapBytes:  reg.Gauge("go_heap_bytes", "Bytes of live heap objects."),
+		gcCPU:      reg.Gauge("go_gc_cpu_fraction", "Fraction of available CPU consumed by the GC since process start."),
+		gcPause:    reg.Histogram("go_gc_pause_seconds", "Distribution of GC stop-the-world pause durations.", gcPauseBuckets),
+	}
+	c.pauseName = rmGCPauses
+	if !sampleSupported(c.pauseName) && sampleSupported(rmGCPausesAlt) {
+		c.pauseName = rmGCPausesAlt
+	}
+	c.samples = []metrics.Sample{
+		{Name: rmGoroutines},
+		{Name: rmHeapBytes},
+		{Name: c.pauseName},
+		{Name: rmGCCPU},
+		{Name: rmTotalCPU},
+	}
+	// Baseline the cumulative pause histogram so the first Collect only
+	// reports pauses from now on.
+	metrics.Read(c.samples)
+	if h := histValue(c.samples[2]); h != nil {
+		c.prevPause = append([]uint64(nil), h.Counts...)
+	}
+	return c
+}
+
+// sampleSupported reports whether the runtime knows a sample name.
+func sampleSupported(name string) bool {
+	s := []metrics.Sample{{Name: name}}
+	metrics.Read(s)
+	return s[0].Value.Kind() != metrics.KindBad
+}
+
+// histValue extracts a runtime histogram from a sample, or nil.
+func histValue(s metrics.Sample) *metrics.Float64Histogram {
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return nil
+	}
+	return s.Value.Float64Histogram()
+}
+
+// Collect performs one poll: reads runtime/metrics and updates the
+// registered families. Safe to call directly (tests, one-shot dumps) or
+// from the Start ticker.
+func (c *RuntimeCollector) Collect() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	metrics.Read(c.samples)
+	for _, s := range c.samples {
+		switch s.Name {
+		case rmGoroutines:
+			if s.Value.Kind() == metrics.KindUint64 {
+				c.goroutines.Set(float64(s.Value.Uint64()))
+			}
+		case rmHeapBytes:
+			if s.Value.Kind() == metrics.KindUint64 {
+				c.heapBytes.Set(float64(s.Value.Uint64()))
+			}
+		case c.pauseName:
+			c.collectPauses(s)
+		}
+	}
+	// GC CPU fraction = cumulative GC cpu-seconds / cumulative total.
+	var gc, total float64
+	var ok int
+	for _, s := range c.samples {
+		if s.Value.Kind() != metrics.KindFloat64 {
+			continue
+		}
+		switch s.Name {
+		case rmGCCPU:
+			gc, ok = s.Value.Float64(), ok+1
+		case rmTotalCPU:
+			total, ok = s.Value.Float64(), ok+1
+		}
+	}
+	if ok == 2 && total > 0 {
+		c.gcCPU.Set(gc / total)
+	}
+}
+
+// collectPauses folds the delta of the runtime's cumulative pause
+// histogram into the registry histogram, observing each new pause at its
+// bucket's upper bound (the runtime only exposes counts, not values).
+func (c *RuntimeCollector) collectPauses(s metrics.Sample) {
+	h := histValue(s)
+	if h == nil {
+		return
+	}
+	if c.prevPause == nil || len(c.prevPause) != len(h.Counts) {
+		c.prevPause = make([]uint64, len(h.Counts))
+	}
+	for i, n := range h.Counts {
+		d := n - c.prevPause[i]
+		c.prevPause[i] = n
+		if d == 0 {
+			continue
+		}
+		// Bucket i covers [Buckets[i], Buckets[i+1]); observe at the
+		// upper edge so we never under-report a pause.
+		v := h.Buckets[i+1]
+		if v > 1e9 { // +Inf edge: fall back to the lower bound
+			v = h.Buckets[i]
+		}
+		for j := uint64(0); j < d; j++ {
+			c.gcPause.Observe(v)
+		}
+	}
+}
+
+// Start launches a goroutine polling Collect every interval until Stop.
+// Calling Start twice without Stop is a no-op.
+func (c *RuntimeCollector) Start(interval time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stop != nil {
+		return
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	stop, done := c.stop, c.done
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.Collect()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the polling goroutine and waits for it to exit. Safe to call
+// without a prior Start.
+func (c *RuntimeCollector) Stop() {
+	c.mu.Lock()
+	stop, done := c.stop, c.done
+	c.stop, c.done = nil, nil
+	c.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

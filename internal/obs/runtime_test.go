@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeCollectorCollect(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg)
+	runtime.GC() // guarantee at least one pause since the baseline
+	c.Collect()
+
+	if v := c.goroutines.Value(); v < 1 {
+		t.Fatalf("go_goroutines = %v, want >= 1", v)
+	}
+	if v := c.heapBytes.Value(); v <= 0 {
+		t.Fatalf("go_heap_bytes = %v, want > 0", v)
+	}
+	if n := c.gcPause.Count(); n == 0 {
+		t.Fatal("go_gc_pause_seconds recorded no pauses despite a forced GC")
+	}
+	frac := c.gcCPU.Value()
+	if frac < 0 || frac > 1 {
+		t.Fatalf("go_gc_cpu_fraction = %v, want within [0, 1]", frac)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"go_goroutines", "go_heap_bytes", "go_gc_cpu_fraction", "go_gc_pause_seconds"} {
+		if !strings.Contains(b.String(), "# TYPE "+fam+" ") {
+			t.Fatalf("exposition missing family %s", fam)
+		}
+	}
+}
+
+func TestRuntimeCollectorPauseDelta(t *testing.T) {
+	c := NewRuntimeCollector(NewRegistry())
+	runtime.GC()
+	c.Collect()
+	n1 := c.gcPause.Count()
+	// A second Collect with no further GC must not re-observe the
+	// cumulative history (the delta conversion is the point).
+	c.Collect()
+	n2 := c.gcPause.Count()
+	if n2 < n1 || n2-n1 > 4 {
+		t.Fatalf("pause count went %d -> %d across an idle Collect; cumulative counts leaked", n1, n2)
+	}
+	runtime.GC()
+	c.Collect()
+	if n3 := c.gcPause.Count(); n3 <= n2 {
+		t.Fatalf("pause count stayed at %d after another forced GC", n3)
+	}
+}
+
+func TestRuntimeCollectorStartStop(t *testing.T) {
+	c := NewRuntimeCollector(NewRegistry())
+	c.Stop() // Stop without Start is a no-op
+	c.Start(time.Millisecond)
+	c.Start(time.Millisecond) // second Start is a no-op
+	deadline := time.Now().Add(2 * time.Second)
+	for c.goroutines.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if c.goroutines.Value() == 0 {
+		t.Fatal("ticker never collected")
+	}
+	c.Stop()
+	c.Stop() // idempotent
+}

@@ -79,7 +79,7 @@ func TestMiddleware(t *testing.T) {
 	var logBuf strings.Builder
 	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
 	var ctxID string
-	h := Middleware(reg, logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	h := Middleware(reg, logger, nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ctxID = FromContext(r.Context()).ID
 		w.WriteHeader(http.StatusTeapot)
 	}))

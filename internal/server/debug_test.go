@@ -1,0 +1,152 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// tracezDump mirrors the /debug/tracez JSON payload shape.
+type tracezDump struct {
+	Recent  []obs.TraceSnapshot `json:"recent"`
+	Slowest []obs.TraceSnapshot `json:"slowest"`
+	Errored []obs.TraceSnapshot `json:"errored"`
+}
+
+func TestTracezEndpointServesRetainedTraces(t *testing.T) {
+	db, err := shard.New(core.Options{Dim: 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	s := New(db, WithRecorder(obs.NewRecorder(obs.RecorderConfig{})))
+
+	first := seedCorpus(t, s, 6)
+	if rec := doJSON(t, s, "POST", "/search", SearchRequest{Points: first[:20], Eps: 0.3}); rec.Code != http.StatusOK {
+		t.Fatalf("search: %d %s", rec.Code, rec.Body)
+	}
+	if rec := doJSON(t, s, "GET", "/nosuch", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("expected 404 probe, got %d", rec.Code)
+	}
+
+	rec := doJSON(t, s, "GET", "/debug/tracez", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/tracez: %d", rec.Code)
+	}
+	var dump tracezDump
+	if err := json.Unmarshal(rec.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("tracez JSON: %v\n%s", err, rec.Body)
+	}
+	var search *obs.TraceSnapshot
+	for i := range dump.Recent {
+		if dump.Recent[i].Attrs["path"] == "/search" {
+			search = &dump.Recent[i]
+		}
+	}
+	if search == nil {
+		t.Fatalf("search request not retained in recent traces:\n%s", rec.Body)
+	}
+	names := map[string]bool{}
+	var shardParented bool
+	byID := map[int]string{}
+	for _, sp := range search.Spans {
+		byID[sp.ID] = sp.Name
+	}
+	for _, sp := range search.Spans {
+		names[sp.Name] = true
+		if sp.Name == "shard" && byID[sp.Parent] == "scatter" {
+			shardParented = true
+		}
+	}
+	for _, want := range []string{"scatter", "shard", "partition", "filter", "refine"} {
+		if !names[want] {
+			t.Fatalf("retained search trace missing span %q (have %v)", want, names)
+		}
+	}
+	if !shardParented {
+		t.Fatal("shard spans are not children of the scatter span")
+	}
+	if search.Attrs["eps"] == nil || search.Attrs["candidates"] == nil {
+		t.Fatalf("search trace missing wide-event attrs: %v", search.Attrs)
+	}
+
+	// The 404 probe was marked errored by the middleware and retained.
+	var errored bool
+	for _, tr := range dump.Errored {
+		if tr.Status == "error" && tr.Attrs["path"] == "/nosuch" {
+			errored = true
+		}
+	}
+	if !errored {
+		t.Fatalf("404 request not retained in errored traces:\n%s", rec.Body)
+	}
+
+	// Text rendering: section headers plus an indented span tree.
+	trec := doJSON(t, s, "GET", "/debug/tracez?format=text", nil)
+	if trec.Code != http.StatusOK {
+		t.Fatalf("/debug/tracez?format=text: %d", trec.Code)
+	}
+	body := trec.Body.String()
+	for _, want := range []string{"== recent", "== slowest", "== errored", "scatter", "pruned_frac"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("tracez text missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestRequestzEndpoint(t *testing.T) {
+	db, err := core.NewDatabase(core.Options{Dim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	rec := obs.NewRecorder(obs.RecorderConfig{})
+	s := New(db, WithRecorder(rec))
+
+	// Pin a synthetic in-flight request so the table is non-empty.
+	tr := obs.NewTraceWithID("hung-req-1")
+	tr.SetAttrs(obs.Str("path", "/search"))
+	rec.Start(tr)
+	defer rec.End(tr)
+
+	resp := doJSON(t, s, "GET", "/debug/requestz", nil)
+	if resp.Code != http.StatusOK {
+		t.Fatalf("/debug/requestz: %d", resp.Code)
+	}
+	var out struct {
+		Active []struct {
+			ID    string         `json:"id"`
+			Age   string         `json:"age"`
+			Attrs map[string]any `json:"attrs"`
+		} `json:"active"`
+	}
+	if err := json.Unmarshal(resp.Body.Bytes(), &out); err != nil {
+		t.Fatalf("requestz JSON: %v\n%s", err, resp.Body)
+	}
+	var found bool
+	for _, a := range out.Active {
+		if a.ID == "hung-req-1" {
+			found = true
+			if a.Age == "" || a.Attrs["path"] != "/search" {
+				t.Fatalf("active row incomplete: %+v", a)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("pinned request missing from /debug/requestz:\n%s", resp.Body)
+	}
+}
+
+func TestDebugEndpointsAbsentWithoutRecorder(t *testing.T) {
+	s, _ := newTestServer(t)
+	for _, path := range []string{"/debug/tracez", "/debug/requestz"} {
+		if rec := doJSON(t, s, "GET", path, nil); rec.Code != http.StatusNotFound {
+			t.Fatalf("GET %s without a recorder = %d, want 404", path, rec.Code)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"log/slog"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -160,6 +161,15 @@ func TestSlowQueryLog(t *testing.T) {
 	}
 	if slow["requestID"] != reqID {
 		t.Fatalf("slow-query requestID %v != response header %q", slow["requestID"], reqID)
+	}
+	// The exemplar-style annotation: the latency histogram bucket (le
+	// notation) this query landed in, for correlation with /metrics.
+	le, ok := slow["le"].(string)
+	if !ok || le == "" {
+		t.Fatalf("slow-query record missing le bucket annotation: %v", slow)
+	}
+	if _, err := strconv.ParseFloat(le, 64); err != nil && le != "+Inf" {
+		t.Fatalf("le = %q is not a latency bucket bound", le)
 	}
 	if slow["route"] != "search" {
 		t.Fatalf("route = %v", slow["route"])

@@ -12,6 +12,10 @@
 //	GET    /metrics                   Prometheus text exposition (with WithMetrics)
 //	GET    /txnz                      WAL/snapshot stats (with mdsserve -durable)
 //	GET    /debug/pprof/...           runtime profiles (with WithPprof)
+//	GET    /debug/tracez              retained traces: recent + slowest per latency
+//	                                  bucket + errored (with WithRecorder; ?format=text
+//	                                  renders span trees)
+//	GET    /debug/requestz            in-flight requests with age (with WithRecorder)
 //	POST   /sequences                 {label, points} -> {id}
 //	POST   /sequences/batch           {sequences:[...]} -> {ids}
 //	GET    /sequences/{id}            stored sequence
@@ -33,11 +37,17 @@
 //
 // Observability: with WithMetrics the database is wired into the given
 // registry and /metrics serves it; with WithLogger every request emits a
-// structured log line (request ID, method, path, status, duration) and
+// canonical wide-event log line (request ID, method, path, status,
+// duration, plus every span timing and attribute the query recorded) and
 // any query slower than the slow-query threshold additionally dumps its
 // full SearchStats — per-shard stats included on a sharded database — at
-// warn level under the same request ID. Every response carries an
-// X-Request-ID header for correlation.
+// warn level under the same request ID, annotated with the latency
+// histogram bucket (`le`) it landed in. With WithRecorder the flight
+// recorder retains the slowest and errored traces for /debug/tracez and
+// tracks in-flight requests for /debug/requestz. Every response carries
+// an X-Request-ID header for correlation; a client-supplied X-Request-ID
+// (≤64 chars, [A-Za-z0-9._-]) is honored so traces correlate across
+// services.
 //
 // Robustness: /search and /knn run under the request context, so a
 // client disconnect or a request deadline cancels the query all the way
@@ -82,6 +92,7 @@ type Server struct {
 
 	reg        *obs.Registry
 	logger     *slog.Logger
+	rec        *obs.Recorder
 	slowThresh time.Duration
 	pprof      bool
 }
@@ -108,6 +119,13 @@ func WithSlowQueryThreshold(d time.Duration) Option {
 // WithPprof mounts net/http/pprof under /debug/pprof/ — behind a flag
 // because profiles expose internals and cost CPU while streaming.
 func WithPprof(enable bool) Option { return func(s *Server) { s.pprof = enable } }
+
+// WithRecorder wires a flight recorder: every request is tracked
+// in-flight and retained per the recorder's sampling (slowest per latency
+// bucket plus all errors/partials), served at GET /debug/tracez
+// (?format=text for span trees) and GET /debug/requestz (in-flight
+// table). nil disables.
+func WithRecorder(rec *obs.Recorder) Option { return func(s *Server) { s.rec = rec } }
 
 // New builds a Server around db (single-node or sharded).
 func New(db shard.DB, opts ...Option) *Server {
@@ -139,9 +157,13 @@ func New(db shard.DB, opts ...Option) *Server {
 		s.mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
+	if s.rec != nil {
+		s.mux.Handle("GET /debug/tracez", obs.TracezHandler(s.rec))
+		s.mux.Handle("GET /debug/requestz", obs.RequestzHandler(s.rec))
+	}
 	s.handler = http.Handler(s.mux)
-	if s.reg != nil || s.logger != nil {
-		s.handler = obs.Middleware(s.reg, s.logger, s.handler)
+	if s.reg != nil || s.logger != nil || s.rec != nil {
+		s.handler = obs.Middleware(s.reg, s.logger, s.rec, s.handler)
 	}
 	return s
 }
@@ -318,6 +340,18 @@ func (s *Server) handleTxnz(w http.ResponseWriter, r *http.Request) {
 	httpError(w, http.StatusNotFound, errors.New("transaction layer not enabled (see mdsserve -durable)"))
 }
 
+// ctxWriter is the optional context-carrying write surface (*txn.DB):
+// when the database supports it, write handlers pass the request context
+// down so the transaction layer's commit spans (op count, WAL group
+// size) land in the request's trace. Databases without it lose only the
+// span, never the write.
+type ctxWriter interface {
+	AddCtx(context.Context, *core.Sequence) (uint32, error)
+	AddAllCtx(context.Context, []*core.Sequence) ([]uint32, error)
+	AppendPointsCtx(context.Context, uint32, []geom.Point) error
+	RemoveCtx(context.Context, uint32) error
+}
+
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	var req SequenceJSON
 	if !decode(w, r, &req) {
@@ -328,7 +362,12 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	id, err := s.db.Add(seq)
+	var id uint32
+	if cw, ok := s.db.(ctxWriter); ok {
+		id, err = cw.AddCtx(r.Context(), seq)
+	} else {
+		id, err = s.db.Add(seq)
+	}
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -352,7 +391,13 @@ func (s *Server) handleAddBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		seqs[i] = seq
 	}
-	ids, err := s.db.AddAll(seqs)
+	var ids []uint32
+	var err error
+	if cw, ok := s.db.(ctxWriter); ok {
+		ids, err = cw.AddAllCtx(r.Context(), seqs)
+	} else {
+		ids, err = s.db.AddAll(seqs)
+	}
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -382,7 +427,13 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := s.db.Remove(id); err != nil {
+	var err error
+	if cw, ok := s.db.(ctxWriter); ok {
+		err = cw.RemoveCtx(r.Context(), id)
+	} else {
+		err = s.db.Remove(id)
+	}
+	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, core.ErrUnknownSequence) {
 			status = http.StatusNotFound
@@ -404,7 +455,13 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	if err := s.db.AppendPoints(id, toPoints(req.Points)); err != nil {
+	var err error
+	if cw, ok := s.db.(ctxWriter); ok {
+		err = cw.AppendPointsCtx(r.Context(), id, toPoints(req.Points))
+	} else {
+		err = s.db.AppendPoints(id, toPoints(req.Points))
+	}
+	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, core.ErrUnknownSequence) {
 			status = http.StatusNotFound
@@ -455,12 +512,23 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Lift the phase timings into the request trace and, past the
-	// threshold, dump the whole run to the slow-query log.
+	// The phase spans were recorded by the search itself (core threads
+	// them through the trace in the request context); the handler adds
+	// the wide-event attributes and, past the threshold, dumps the whole
+	// run to the slow-query log.
 	tr := obs.FromContext(r.Context())
-	tr.AddSpan("partition", stats.Phase1)
-	tr.AddSpan("filter", stats.Phase2)
-	tr.AddSpan("refine", stats.Phase3)
+	if tr != nil {
+		tr.SetAttrs(
+			obs.Float("eps", req.Eps),
+			obs.Int("query_points", q.Len()),
+			obs.Int("candidates", stats.CandidatesDmbr),
+			obs.Int("matches", stats.MatchesDnorm),
+			obs.Bool("cached", stats.CacheHit),
+		)
+		if stats.Partial {
+			tr.MarkPartial()
+		}
+	}
 	s.logSlowQuery(r, "search", took, q, req.Eps, 0, stats, perShard)
 
 	resp := searchResponse(matches, stats, perShard)
@@ -534,8 +602,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	tr := obs.FromContext(r.Context())
-	tr.AddSpan("batch", took)
+	// The batch span (queries, dedup, cache hits) is recorded by the
+	// database; the handler adds the wide-event attributes.
+	if tr := obs.FromContext(r.Context()); tr != nil {
+		tr.SetAttrs(obs.Float("eps", req.Eps), obs.Int("batch_queries", len(qs)))
+	}
 
 	// A slow batch is logged as one unit under its first query — the
 	// per-member stats are in the response for finer attribution.
@@ -589,7 +660,14 @@ func (s *Server) logSlowQuery(r *http.Request, route string, took time.Duration,
 		),
 	}
 	if tr != nil {
-		attrs = append([]slog.Attr{slog.String("requestID", tr.ID)}, attrs...)
+		// Exemplar-style annotation: the request ID plus the `le` bucket
+		// of the latency histograms this query landed in, so a spike in a
+		// dashboard bucket links straight to a retained trace
+		// (/debug/tracez) by ID.
+		attrs = append([]slog.Attr{
+			slog.String("requestID", tr.ID),
+			slog.String("le", obs.LatencyBucketLabel(took)),
+		}, attrs...)
 	}
 	if route == "knn" {
 		attrs = append(attrs, slog.Int("k", k))
@@ -627,6 +705,9 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		httpError(w, queryErrStatus(err), err)
 		return
+	}
+	if tr := obs.FromContext(r.Context()); tr != nil {
+		tr.SetAttrs(obs.Int("k", req.K), obs.Int("query_points", q.Len()))
 	}
 	s.logSlowQuery(r, "knn", took, q, 0, req.K, core.SearchStats{}, nil)
 	out := make([]NeighborJSON, len(results))

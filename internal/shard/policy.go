@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Policy configures the fault-tolerance of the scatter-gather query path:
@@ -74,7 +76,7 @@ func (s *ShardedDB) Policy() Policy {
 func robustCall[T any](ctx context.Context, p Policy, m *shardMetrics, call func(context.Context) (T, error)) (T, error) {
 	var zero T
 	for attempt := 0; ; attempt++ {
-		v, err := hedgedAttempt(ctx, p, m, call)
+		v, err := hedgedAttempt(ctx, p, m, attempt, call)
 		if err == nil {
 			return v, nil
 		}
@@ -103,8 +105,9 @@ func robustCall[T any](ctx context.Context, p Policy, m *shardMetrics, call func
 // call fails, the first error is returned. The results channel is
 // buffered for every possible sender, so a losing call's goroutine never
 // leaks even though nobody waits for it.
-func hedgedAttempt[T any](ctx context.Context, p Policy, m *shardMetrics, call func(context.Context) (T, error)) (T, error) {
+func hedgedAttempt[T any](ctx context.Context, p Policy, m *shardMetrics, attempt int, call func(context.Context) (T, error)) (T, error) {
 	var zero T
+	tr := obs.FromContext(ctx)
 	actx := ctx
 	cancel := context.CancelFunc(func() {})
 	if p.ShardTimeout > 0 {
@@ -124,7 +127,19 @@ func hedgedAttempt[T any](ctx context.Context, p Policy, m *shardMetrics, call f
 	results := make(chan outcome, 2)
 	launch := func(hedge bool) {
 		go func() {
-			v, err := call(actx)
+			// Each launched call (primary or hedge) gets its own span, so a
+			// retained trace shows every attempt a retried/hedged query
+			// made and which one produced the answer.
+			cctx := actx
+			var end func(...obs.Attr)
+			if tr != nil {
+				cctx, end = obs.StartSpan(actx, "attempt")
+			}
+			v, err := call(cctx)
+			if end != nil {
+				end(obs.Int("attempt", attempt), obs.Bool("hedge", hedge),
+					obs.Str("outcome", attemptOutcome(err)))
+			}
 			results <- outcome{v: v, err: err, hedge: hedge}
 		}()
 	}
@@ -167,6 +182,20 @@ func hedgedAttempt[T any](ctx context.Context, p Policy, m *shardMetrics, call f
 		}
 	}
 	return zero, firstErr
+}
+
+// attemptOutcome labels one launched call's result for its span.
+func attemptOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "error"
+	}
 }
 
 // searchAborted wraps a fired caller context the same way core does, so

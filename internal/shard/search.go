@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // ShardStats pairs a shard index with the statistics its local search
@@ -83,7 +84,11 @@ func (s *ShardedDB) scatterSearch(ctx context.Context, q *core.Sequence, eps flo
 	// snapshotted here, before any shard is contacted, so a write landing
 	// mid-scatter makes the entry stored below unservable, never stale.
 	ref := s.rangeRef(q, eps)
+	tr := obs.FromContext(ctx)
 	if ms, st, ps, ok := ref.get(); ok {
+		if tr != nil {
+			tr.RecordSpan(obs.SpanFromContext(ctx), "cache-hit", 0, obs.Str("tier", "front"))
+		}
 		return ms, st, ps, nil
 	}
 	n := len(s.shards)
@@ -92,6 +97,11 @@ func (s *ShardedDB) scatterSearch(ctx context.Context, q *core.Sequence, eps flo
 	if workers <= 0 || workers > n {
 		workers = scatterWorkers(n)
 	}
+	// The scatter span wraps the whole fan-out; per-shard child spans (and
+	// their per-attempt grandchildren from robustCall) nest under it, so a
+	// retained trace of a sharded query renders as a tree: which shard
+	// straggled, whether a hedge won, where each phase spent its time.
+	scatterCtx, endScatter := obs.StartSpan(ctx, "scatter")
 	type result struct {
 		matches []core.Match
 		stats   core.SearchStats
@@ -109,10 +119,18 @@ func (s *ShardedDB) scatterSearch(ctx context.Context, q *core.Sequence, eps flo
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			b := s.backend(i)
-			rep, err := robustCall(ctx, pol, met, func(actx context.Context) (searchReply, error) {
+			shardCtx := scatterCtx
+			var endShard func(...obs.Attr)
+			if tr != nil {
+				shardCtx, endShard = obs.StartSpan(scatterCtx, "shard")
+			}
+			rep, err := robustCall(shardCtx, pol, met, func(actx context.Context) (searchReply, error) {
 				m, st, err := b.SearchCtx(actx, q, eps)
 				return searchReply{matches: m, stats: st}, err
 			})
+			if endShard != nil {
+				endShard(obs.Int("shard", i), obs.Bool("ok", err == nil))
+			}
 			results[i] = result{matches: rep.matches, stats: rep.stats, wall: time.Since(t0), err: err}
 		}(i)
 	}
@@ -125,6 +143,7 @@ func (s *ShardedDB) scatterSearch(ctx context.Context, q *core.Sequence, eps flo
 	for i, r := range results {
 		if r.err != nil {
 			if !pol.AllowPartial {
+				endScatter(obs.Int("shards", n), obs.Int("failed_shard", i))
 				return nil, merged, nil, fmt.Errorf("shard: shard %d: %w", i, r.err)
 			}
 			if firstErr == nil {
@@ -141,6 +160,12 @@ func (s *ShardedDB) scatterSearch(ctx context.Context, q *core.Sequence, eps flo
 	}
 	merged.ShardsAnswered = len(perShard)
 	merged.Partial = len(perShard) < n
+	endScatter(obs.Int("shards", n),
+		obs.Int("shards_answered", merged.ShardsAnswered),
+		obs.Bool("partial", merged.Partial))
+	if merged.Partial {
+		tr.MarkPartial()
+	}
 	if len(perShard) == 0 {
 		// Nothing answered: an "empty partial" would be indistinguishable
 		// from a genuinely empty corpus, so total failure stays an error.

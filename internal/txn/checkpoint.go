@@ -1,6 +1,7 @@
 package txn
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pager"
 	"repro/internal/seqio"
 )
@@ -48,6 +50,31 @@ const drainInterval = 200 * time.Microsecond
 // point, which must be released before the base may change under them.
 // Concurrent commits keep flowing; they land in the post-fold delta.
 func (db *DB) Checkpoint() error {
+	return db.CheckpointCtx(context.Background())
+}
+
+// CheckpointCtx is Checkpoint recording an observability span when ctx
+// carries an obs.Trace: duration, the delta size folded, and the epoch
+// the fold cut at. The context does not cancel the checkpoint — a fold
+// in progress always runs to completion or failure.
+func (db *DB) CheckpointCtx(ctx context.Context) error {
+	tr := obs.FromContext(ctx)
+	if tr != nil {
+		t0 := time.Now()
+		cut := db.cur.Load()
+		err := db.checkpointLocked()
+		tr.RecordSpan(obs.SpanFromContext(ctx), "checkpoint", time.Since(t0),
+			obs.Int64("snapshot_epoch", int64(cut.epoch)),
+			obs.Int("delta_len", cut.deltaLen()),
+			obs.Bool("ok", err == nil))
+		return err
+	}
+	return db.checkpointLocked()
+}
+
+// checkpointLocked is the checkpoint body (see Checkpoint for the
+// contract).
+func (db *DB) checkpointLocked() error {
 	if db.closed.Load() {
 		return ErrClosed
 	}

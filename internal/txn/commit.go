@@ -218,6 +218,7 @@ func (db *DB) flushGroup(pend *state, group []*commitReq, recs []tailRec) *state
 		}
 	}
 	for _, req := range group {
+		req.res.group = len(group)
 		req.resp <- req.res
 	}
 	if db.opts.CheckpointEvery > 0 && db.tailLen >= db.opts.CheckpointEvery {

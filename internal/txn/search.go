@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Snap is a pinned MVCC read snapshot: an immutable view of the corpus
@@ -127,6 +128,12 @@ func (s *Snap) deltaRange(ctx context.Context, q *core.Sequence, eps float64, st
 	d := time.Since(t0)
 	st.Phase3 += d
 	st.CPUTime += d
+	if tr := obs.FromContext(ctx); tr != nil {
+		tr.RecordSpan(obs.SpanFromContext(ctx), "delta-scan", d,
+			obs.Int64("snapshot_epoch", int64(s.st.epoch)),
+			obs.Int("delta_len", s.st.deltaLen()),
+			obs.Int("matches", len(out)))
+	}
 	return out, nil
 }
 

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/pager"
 )
 
@@ -257,11 +258,20 @@ func (db *DB) Flush() error {
 // Add stores one sequence and returns its id. The write is one commit:
 // durable (fsynced, unless NoFsync) before Add returns.
 func (db *DB) Add(s *core.Sequence) (uint32, error) {
+	return db.AddCtx(context.Background(), s)
+}
+
+// AddCtx is Add under a caller context, carried for observability: when
+// ctx holds an obs.Trace, the commit is recorded as a span with its op
+// count and the WAL group-commit batch size it rode in. The context does
+// not cancel a submitted commit — once accepted, a commit is always
+// acknowledged (the committer owns durability).
+func (db *DB) AddCtx(ctx context.Context, s *core.Sequence) (uint32, error) {
 	g, err := db.partitionFor(s)
 	if err != nil {
 		return 0, err
 	}
-	res, err := db.commit([]op{{kind: opAdd, g: g}})
+	res, err := db.commitCtx(ctx, []op{{kind: opAdd, g: g}})
 	if err != nil {
 		return 0, err
 	}
@@ -272,6 +282,12 @@ func (db *DB) Add(s *core.Sequence) (uint32, error) {
 // sequence becomes visible and durable together, or none does. Returned
 // ids are dense and in input order.
 func (db *DB) AddAll(seqs []*core.Sequence) ([]uint32, error) {
+	return db.AddAllCtx(context.Background(), seqs)
+}
+
+// AddAllCtx is AddAll under a caller context, carried for observability
+// (see AddCtx for the contract).
+func (db *DB) AddAllCtx(ctx context.Context, seqs []*core.Sequence) ([]uint32, error) {
 	if len(seqs) == 0 {
 		return nil, nil
 	}
@@ -283,7 +299,7 @@ func (db *DB) AddAll(seqs []*core.Sequence) ([]uint32, error) {
 		}
 		ops[i] = op{kind: opAdd, g: g}
 	}
-	res, err := db.commit(ops)
+	res, err := db.commitCtx(ctx, ops)
 	if err != nil {
 		return nil, err
 	}
@@ -298,6 +314,12 @@ func (db *DB) AddAll(seqs []*core.Sequence) ([]uint32, error) {
 // ingest path. The extension is committed copy-on-write: pinned
 // snapshots keep seeing the previous version.
 func (db *DB) AppendPoints(id uint32, pts []geom.Point) error {
+	return db.AppendPointsCtx(context.Background(), id, pts)
+}
+
+// AppendPointsCtx is AppendPoints under a caller context, carried for
+// observability (see AddCtx for the contract).
+func (db *DB) AppendPointsCtx(ctx context.Context, id uint32, pts []geom.Point) error {
 	if len(pts) == 0 {
 		return nil
 	}
@@ -308,14 +330,20 @@ func (db *DB) AppendPoints(id uint32, pts []geom.Point) error {
 				i, len(p), dim, geom.ErrDimensionMismatch)
 		}
 	}
-	_, err := db.commit([]op{{kind: opAppend, id: id, pts: pts}})
+	_, err := db.commitCtx(ctx, []op{{kind: opAppend, id: id, pts: pts}})
 	return err
 }
 
 // Remove deletes the sequence with the given id. The id is never
 // reused; pinned snapshots keep seeing the sequence.
 func (db *DB) Remove(id uint32) error {
-	_, err := db.commit([]op{{kind: opRemove, id: id}})
+	return db.RemoveCtx(context.Background(), id)
+}
+
+// RemoveCtx is Remove under a caller context, carried for observability
+// (see AddCtx for the contract).
+func (db *DB) RemoveCtx(ctx context.Context, id uint32) error {
+	_, err := db.commitCtx(ctx, []op{{kind: opRemove, id: id}})
 	return err
 }
 
@@ -338,13 +366,37 @@ func (db *DB) partitionFor(s *core.Sequence) (*core.Segmented, error) {
 // commit submits one atomic batch of ops and waits for the committer's
 // acknowledgment (post-fsync when durable).
 func (db *DB) commit(ops []op) (commitRes, error) {
-	req := &commitReq{ops: ops, resp: make(chan commitRes, 1), enq: time.Now()}
+	return db.commitCtx(context.Background(), ops)
+}
+
+// commitCtx is commit recording an observability span when ctx carries a
+// trace: duration enqueue-to-ack, op count, the WAL group size the
+// commit was fsynced with, and the outcome. ctx never cancels the
+// commit itself.
+func (db *DB) commitCtx(ctx context.Context, ops []op) (commitRes, error) {
+	tr := obs.FromContext(ctx)
+	t0 := time.Now()
+	req := &commitReq{ops: ops, resp: make(chan commitRes, 1), enq: t0}
 	if err := db.submit(req); err != nil {
+		if tr != nil {
+			tr.RecordSpan(obs.SpanFromContext(ctx), "commit", time.Since(t0),
+				obs.Int("ops", len(ops)), obs.Str("outcome", "rejected"))
+		}
 		return commitRes{}, err
 	}
 	// The committer answers every accepted request, draining the queue
 	// before it exits, so this wait always resolves.
 	res := <-req.resp
+	if tr != nil {
+		outcome := "ok"
+		if res.err != nil {
+			outcome = "error"
+		}
+		tr.RecordSpan(obs.SpanFromContext(ctx), "commit", time.Since(t0),
+			obs.Int("ops", len(ops)),
+			obs.Int("wal_group", res.group),
+			obs.Str("outcome", outcome))
+	}
 	return res, res.err
 }
 

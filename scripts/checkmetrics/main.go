@@ -1,0 +1,161 @@
+// Command checkmetrics freezes the server's metric surface. It boots
+// every layer that registers instruments — core search, the shard
+// router, a transactional node, the query cache, the HTTP middleware,
+// and the runtime collector — into one registry, dumps the registered
+// families as "name type help" lines, and diffs them against the
+// committed freeze file:
+//
+//	go run ./scripts/checkmetrics scripts/checkmetrics/metrics.txt
+//	go run ./scripts/checkmetrics -write scripts/checkmetrics/metrics.txt
+//
+// CI runs the diff form. A metric rename, a dropped family, a type
+// change, or reworded help text fails the build until the freeze file
+// is regenerated with -write and the change reviewed as a deliberate
+// break of the dashboard/alerting contract. Exit status is 1 on drift,
+// 2 on usage or setup errors.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/txn"
+)
+
+func main() {
+	write := flag.Bool("write", false, "regenerate the freeze file instead of diffing against it")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: checkmetrics [-write] <metrics.txt>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	got, err := registeredFamilies()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checkmetrics: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *write {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "checkmetrics: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("checkmetrics: wrote %d families to %s\n", bytes.Count(got, []byte("\n")), path)
+		return
+	}
+
+	want, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checkmetrics: %v (regenerate with -write)\n", err)
+		os.Exit(2)
+	}
+	if diff := diffLines(want, got); len(diff) > 0 {
+		for _, d := range diff {
+			fmt.Println(d)
+		}
+		fmt.Fprintf(os.Stderr, "checkmetrics: metric families drifted from %s; if intended, regenerate with\n  go run ./scripts/checkmetrics -write %s\n", path, path)
+		os.Exit(1)
+	}
+}
+
+// registeredFamilies boots one instance of every metrics-producing
+// layer into a fresh registry and renders the resulting family set,
+// one sorted "name type help" line per family.
+func registeredFamilies() ([]byte, error) {
+	reg := obs.NewRegistry()
+
+	// Core query metrics on a single node.
+	cdb, err := core.NewDatabase(core.Options{Dim: 2})
+	if err != nil {
+		return nil, err
+	}
+	defer cdb.Close()
+	cdb.SetMetrics(reg)
+
+	// Scatter-gather router metrics (per-shard series share families).
+	sdb, err := shard.New(core.Options{Dim: 2}, 2)
+	if err != nil {
+		return nil, err
+	}
+	defer sdb.Close()
+	sdb.SetMetrics(reg)
+
+	// Durable-node WAL and snapshot metrics.
+	dir, err := os.MkdirTemp("", "checkmetrics")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	tdb, err := txn.Open(txn.Options{Dir: dir, Dim: 2})
+	if err != nil {
+		return nil, err
+	}
+	tdb.SetMetricsShard(reg, 0)
+	tdb.Close()
+
+	// Query-result cache metrics.
+	cache.New(cache.Config{MaxEntries: 1}).SetMetrics(cache.NewMetrics(reg, "core"))
+
+	// HTTP middleware: the in-flight gauge registers at construction,
+	// the request counter/histogram on the first request served.
+	h := obs.Middleware(reg, nil, nil, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+
+	// Runtime collector gauges and the GC pause histogram.
+	obs.NewRuntimeCollector(reg)
+
+	var buf bytes.Buffer
+	for _, f := range reg.Families() {
+		fmt.Fprintf(&buf, "%s %s %s\n", f.Name, f.Type, f.Help)
+	}
+	return buf.Bytes(), nil
+}
+
+// diffLines reports, in freeze-file order, every line present in one
+// set but not the other.
+func diffLines(want, got []byte) []string {
+	wantSet := lineSet(want)
+	gotSet := lineSet(got)
+	var out []string
+	for _, l := range splitLines(want) {
+		if !gotSet[l] {
+			out = append(out, "- "+l)
+		}
+	}
+	for _, l := range splitLines(got) {
+		if !wantSet[l] {
+			out = append(out, "+ "+l)
+		}
+	}
+	return out
+}
+
+// splitLines breaks b into non-empty lines.
+func splitLines(b []byte) []string {
+	var out []string
+	for _, l := range bytes.Split(b, []byte("\n")) {
+		if len(bytes.TrimSpace(l)) > 0 {
+			out = append(out, string(l))
+		}
+	}
+	return out
+}
+
+// lineSet indexes the non-empty lines of b for membership tests.
+func lineSet(b []byte) map[string]bool {
+	set := make(map[string]bool)
+	for _, l := range splitLines(b) {
+		set[l] = true
+	}
+	return set
+}
