@@ -35,6 +35,58 @@ func ExampleOpen() {
 	// trail matches at [[3,6)]
 }
 
+// ExampleQueryCacheConfig selects an eviction policy and invalidation
+// scope for the query-result cache, then shows MBR-scoped invalidation
+// at work: a write far from a cached query's region keeps the hit alive,
+// a write inside it recomputes.
+func ExampleQueryCacheConfig() {
+	db, err := mdseq.Open(mdseq.Options{Dim: 2})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	db.SetCache(mdseq.NewQueryCache(mdseq.QueryCacheConfig{
+		MaxEntries: 1024,
+		Policy:     mdseq.CachePolicyGDSF, // cost-aware eviction (the default)
+		Scope:      mdseq.CacheScopeMBR,   // region-scoped invalidation (the default)
+	}))
+
+	trail, _ := mdseq.NewSequence("trail", []mdseq.Point{
+		{0.10, 0.10}, {0.12, 0.11}, {0.14, 0.13}, {0.16, 0.14},
+	})
+	if _, err := db.Add(trail); err != nil {
+		panic(err)
+	}
+	query, _ := mdseq.NewSequence("q", trail.Points[1:3])
+	search := func() {
+		_, st, err := db.Search(query, 0.05)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println("cached:", st.CacheHit)
+	}
+	search() // computes and fills the cache
+	search() // served from memory
+
+	// A write far from the query's region cannot change its answer, so
+	// the entry keeps serving; a write inside the region invalidates it.
+	far, _ := mdseq.NewSequence("far", []mdseq.Point{{0.90, 0.90}, {0.92, 0.91}})
+	if _, err := db.Add(far); err != nil {
+		panic(err)
+	}
+	search()
+	near, _ := mdseq.NewSequence("near", trail.Points[0:2])
+	if _, err := db.Add(near); err != nil {
+		panic(err)
+	}
+	search()
+	// Output:
+	// cached: false
+	// cached: true
+	// cached: true
+	// cached: false
+}
+
 // ExampleD demonstrates the sliding sequence distance of Definitions 2-3.
 func ExampleD() {
 	long, _ := mdseq.NewSequence("long", []mdseq.Point{

@@ -1,27 +1,61 @@
-// Package cache is a sharded, epoch-invalidated LRU for query results.
+// Package cache is a sharded, cost-aware result cache for query results
+// with geometry-scoped (MBR) write invalidation.
 //
 // The similarity-search workloads of the paper's motivating applications
 // (video streams, image archives) repeat queries heavily, and every phase
 // of the three-phase search — query segmentation, R*-tree probing, Dnorm
-// refinement — is pure with respect to the corpus. A result computed at
-// corpus version E is therefore exactly reusable until the next write.
-// This package captures that with a write epoch: the owning database
-// keeps a monotonically increasing epoch counter, bumps it on every
-// Add/Remove/Append, and passes the value it observed *before* running a
-// query into Put. Get compares the stored epoch against the database's
-// current one; any mismatch is a miss (and lazily evicts the stale
-// entry), so a single atomic increment invalidates the whole cache
-// without the writer ever touching cache locks or readers blocking on
-// the writer.
+// refinement — is pure with respect to the corpus, so a computed result
+// is exactly reusable until a write changes the part of the corpus it
+// depends on. Query cost is also wildly non-uniform: a high-dimensional
+// kNN with poor pruning burns orders of magnitude more CPU than a tiny
+// range probe. The cache therefore tracks, per entry, both the compute
+// cost of the run that produced it (Value.Cost, the search's CPUTime) and
+// the geometric region the result depends on (Value.Region), and offers a
+// choice along both axes:
 //
-// The store itself is a fixed-capacity LRU sharded across independently
-// locked segments (FNV fingerprints spread keys uniformly), with both an
-// entry cap and an approximate byte cap so operators can bound memory,
-// not just object count. Keys are 128-bit fingerprints of the query
-// material (points, ε, partitioning parameters, query kind), computed by
-// the caller; with 2^128 key space, accidental collisions are beyond
-// reach of any realistic workload, so the cache never stores the raw
-// query for verification.
+// Eviction policy (Config.Policy). PolicyLRU is classic least-recently-
+// used. PolicyGDSF (the default) is Greedy-Dual-Size-Frequency: each
+// entry carries a priority H = L + frequency × cost / size, where L is a
+// per-lock-shard aging watermark that rises to the evicted victim's H, so
+// long-idle entries age out no matter how expensive they once were, while
+// a frequently hit, expensive-to-recompute entry outranks a crowd of
+// cheap ones. Admission is by self-eviction: a new entry enters with
+// H = L + cost/size and is immediately evicted if it is itself the lowest
+// priority in a full shard, so one-off cheap results cannot displace a
+// proven expensive one.
+//
+// Invalidation scope (Config.Scope). Writes are reported to the cache
+// through Invalidate(w), where w is the MBR of the written sequence.
+// ScopeEpoch reproduces the original whole-cache flush: Invalidate only
+// advances the cache's write-sequence counter and Get treats any entry
+// born under an older counter as stale (lazily evicting it), so the
+// writer never takes a cache lock. ScopeMBR (the default) keeps every
+// entry whose recorded region provably cannot be affected: an entry with
+// region (rect R, radius r) is killed only when MinDist(R, w) ≤ r — the
+// same conservative rectangle-distance bound (the paper's Dmbr, Lemma 1)
+// that makes the search itself admit no false dismissals. Because Dmbr
+// lower-bounds every point-pair distance, a write whose MBR is farther
+// than r from the query's MBR cannot add, remove, or alter any result
+// within radius r, so surviving hits are never stale (see DESIGN.md §14
+// for the full argument). Each lock shard keeps a coarse summary (union
+// rect + max radius) so a write sweep skips entire shards it cannot
+// intersect, keeping the write path ~O(intersecting entries) rather than
+// O(cache).
+//
+// Writers racing queries are handled by a write-sequence protocol: a
+// reader snapshots Seq() before running its query and passes the value to
+// Put, which drops the entry if any write arrived in between — the sweep
+// for that write may already have passed the entry's lock shard, so a
+// late store can never slip a stale result in behind it.
+//
+// The store itself is sharded across independently locked segments
+// (FNV fingerprints spread keys uniformly), with both an entry cap and an
+// approximate byte cap so operators can bound memory, not just object
+// count. Keys are 128-bit fingerprints of the query material (points, ε,
+// partitioning parameters, query kind), computed by the caller; with
+// 2^128 key space, accidental collisions are beyond reach of any
+// realistic workload, so the cache never stores the raw query for
+// verification.
 //
 // Partial results (a sharded scatter that degraded to a subset of
 // shards) are never cached: a partial answer reflects one scatter's
@@ -31,8 +65,13 @@ package cache
 
 import (
 	"container/list"
+	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
 )
 
 // Key is a 128-bit query fingerprint. Callers build it from everything
@@ -45,6 +84,36 @@ type Key struct {
 	Hi, Lo uint64
 }
 
+// Region is the geometric footprint a cached result depends on: every
+// corpus point that could influence the result lies within Radius
+// (under Euclidean distance) of Rect. For a range query that is the
+// query's bounding rectangle and ε; for a complete kNN answer it is the
+// query's bounding rectangle and the k-th result distance. An empty
+// Rect, an infinite Radius, or a NaN Radius all mean "unknown extent":
+// such an entry is invalidated by every write.
+type Region struct {
+	// Rect bounds the query material the result was computed from.
+	Rect geom.Rect
+	// Radius is the distance beyond Rect the result can still depend on.
+	Radius float64
+}
+
+// stale reports whether a write covering w can affect a result with this
+// region. It is deliberately conservative: unknown or unbounded regions,
+// empty write rectangles, and dimensionality mismatches all count as
+// affected. Otherwise the test is MinDist(Rect, w) ≤ Radius — Dmbr
+// lower-bounds the distance between any point pair drawn from the two
+// rectangles, so a write failing it cannot change the result.
+func (g Region) stale(w geom.Rect) bool {
+	if g.Rect.IsEmpty() || w.IsEmpty() || g.Rect.Dim() != w.Dim() {
+		return true
+	}
+	if !(g.Radius >= 0) || math.IsInf(g.Radius, 1) { // NaN or +Inf
+		return true
+	}
+	return g.Rect.MinDistSq(w) <= g.Radius*g.Radius
+}
+
 // Value is one cached query result with its cost accounting.
 type Value struct {
 	// Data is the cached result (matches, kNN lists, merged scatter
@@ -52,15 +121,75 @@ type Value struct {
 	// read-only: the same value is handed to every hit.
 	Data any
 	// Bytes is the approximate retained size of Data, charged against
-	// Config.MaxBytes. Zero-byte values are legal but weaken the byte
-	// cap; callers should estimate honestly.
+	// Config.MaxBytes and used as the GDSF size term. Zero-byte values
+	// are legal but weaken the byte cap; callers should estimate
+	// honestly.
 	Bytes int
+	// Cost is the compute the result took to produce (the search's
+	// CPUTime) — the GDSF cost term, and the amount every later hit
+	// saves. Non-positive costs are floored to one nanosecond so a
+	// zero-cost entry still ages normally.
+	Cost time.Duration
+	// Region is the result's geometric footprint for MBR-scoped
+	// invalidation. The zero Region means "unknown": correct, but every
+	// write then invalidates the entry.
+	Region Region
 	// Partial marks a degraded scatter-gather result. Put refuses
 	// partial values — see the package comment.
 	Partial bool
 }
 
-// Config sizes a Cache.
+// Policy selects the eviction policy.
+type Policy string
+
+// The supported eviction policies.
+const (
+	// PolicyLRU evicts the least-recently-used entry first.
+	PolicyLRU Policy = "lru"
+	// PolicyGDSF evicts by Greedy-Dual-Size-Frequency priority
+	// H = L + frequency × cost / size with a rising aging watermark L.
+	PolicyGDSF Policy = "gdsf"
+)
+
+// ParsePolicy converts a flag string into a Policy ("" selects the
+// default, PolicyGDSF).
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case "":
+		return PolicyGDSF, nil
+	case PolicyLRU, PolicyGDSF:
+		return Policy(s), nil
+	}
+	return "", fmt.Errorf("cache: unknown policy %q (want %q or %q)", s, PolicyLRU, PolicyGDSF)
+}
+
+// Scope selects how write notifications invalidate entries.
+type Scope string
+
+// The supported invalidation scopes.
+const (
+	// ScopeEpoch flushes the whole cache on every write: Invalidate only
+	// advances the write-sequence counter and entries born earlier die
+	// lazily on lookup. The writer never takes a cache lock.
+	ScopeEpoch Scope = "epoch"
+	// ScopeMBR kills only entries whose recorded region the write's MBR
+	// can reach (MinDist ≤ radius); everything else keeps serving.
+	ScopeMBR Scope = "mbr"
+)
+
+// ParseScope converts a flag string into a Scope ("" selects the
+// default, ScopeMBR).
+func ParseScope(s string) (Scope, error) {
+	switch Scope(s) {
+	case "":
+		return ScopeMBR, nil
+	case ScopeEpoch, ScopeMBR:
+		return Scope(s), nil
+	}
+	return "", fmt.Errorf("cache: unknown scope %q (want %q or %q)", s, ScopeEpoch, ScopeMBR)
+}
+
+// Config sizes a Cache and selects its policies.
 type Config struct {
 	// MaxEntries caps the number of cached results across all lock
 	// shards (0 → DefaultMaxEntries). The cap is enforced per shard
@@ -73,6 +202,10 @@ type Config struct {
 	// a power of two). More shards means less contention under
 	// concurrent queries at a small fixed memory cost.
 	Shards int
+	// Policy is the eviction policy ("" → PolicyGDSF).
+	Policy Policy
+	// Scope is the write-invalidation scope ("" → ScopeMBR).
+	Scope Scope
 }
 
 // Defaults for the zero Config.
@@ -101,43 +234,89 @@ func (c Config) withDefaults() Config {
 		n <<= 1
 	}
 	c.Shards = n
+	if c.Policy == "" {
+		c.Policy = PolicyGDSF
+	}
+	if c.Scope == "" {
+		c.Scope = ScopeMBR
+	}
 	return c
 }
 
-// Cache is a sharded LRU of epoch-stamped query results, safe for
-// concurrent use. The zero Cache is not usable; construct with New.
+// Cache is a sharded, cost-aware query-result cache, safe for concurrent
+// use. The zero Cache is not usable; construct with New.
 type Cache struct {
 	cfg    Config
+	gdsf   bool // cfg.Policy == PolicyGDSF, hoisted out of the hot path
 	shards []lockShard
 	mask   uint64
+
+	// seq counts write notifications (Invalidate calls). Readers
+	// snapshot it before running a query and pass it to Put, which drops
+	// the entry if the counter moved — see the package comment.
+	seq atomic.Uint64
 
 	entries atomic.Int64 // live entries across shards
 	bytes   atomic.Int64 // summed Value.Bytes across shards
 	met     atomic.Pointer[Metrics]
 }
 
-// entry is one cached result plus the epoch it was computed under.
+// entry is one cached result with its replacement-policy state.
 type entry struct {
-	key   Key
-	epoch uint64
-	val   Value
+	key Key
+	// seq is the write-sequence value the entry was stored under. Under
+	// ScopeEpoch a lookup requires it to still be current.
+	seq uint64
+	val Value
+
+	// freq and pri are the GDSF frequency count and priority H; hi is
+	// the entry's index in the shard's min-heap.
+	freq uint64
+	pri  float64
+	hi   int
+	// el is the entry's node in the LRU list (PolicyLRU only).
+	el *list.Element
 }
 
-// lockShard is one independently locked LRU segment.
+// lockShard is one independently locked cache segment.
 type lockShard struct {
-	mu         sync.Mutex
-	ll         *list.List // front = most recent; values are *entry
-	items      map[Key]*list.Element
+	mu    sync.Mutex
+	gdsf  bool
+	items map[Key]*entry
+	ll    *list.List // LRU order, front = most recent (PolicyLRU)
+	heap  []*entry   // min-heap by pri (PolicyGDSF)
+
 	bytes      int64
 	maxEntries int
 	maxBytes   int64
+
+	// watermark is the GDSF aging term L: it rises to each evicted
+	// victim's priority, so entries untouched since long before the last
+	// eviction rank below anything inserted or hit afterwards.
+	watermark float64
+
+	// Region summary for MBR-scoped invalidation: sum is the union of
+	// every entry's region rect and sumRadius the largest radius, so a
+	// write w with MinDist(sum, w) > sumRadius cannot touch any entry
+	// here and the sweep skips the shard without walking it. sumAll is
+	// set when any entry's region is unknown or unbounded (the summary
+	// then cannot exclude anything). The summary only grows between
+	// sweeps; each sweep rebuilds it from the survivors.
+	sum       geom.Rect
+	sumRadius float64
+	sumAll    bool
 }
 
 // New creates a cache sized by cfg (zero fields take the package
 // defaults).
 func New(cfg Config) *Cache {
 	cfg = cfg.withDefaults()
-	c := &Cache{cfg: cfg, shards: make([]lockShard, cfg.Shards), mask: uint64(cfg.Shards - 1)}
+	c := &Cache{
+		cfg:    cfg,
+		gdsf:   cfg.Policy == PolicyGDSF,
+		shards: make([]lockShard, cfg.Shards),
+		mask:   uint64(cfg.Shards - 1),
+	}
 	perEntries := (cfg.MaxEntries + cfg.Shards - 1) / cfg.Shards
 	if perEntries < 1 {
 		perEntries = 1
@@ -148,8 +327,9 @@ func New(cfg Config) *Cache {
 	}
 	for i := range c.shards {
 		c.shards[i] = lockShard{
+			gdsf:       c.gdsf,
+			items:      make(map[Key]*entry),
 			ll:         list.New(),
-			items:      make(map[Key]*list.Element),
 			maxEntries: perEntries,
 			maxBytes:   perBytes,
 		}
@@ -161,44 +341,83 @@ func New(cfg Config) *Cache {
 // count normalized).
 func (c *Cache) Config() Config { return c.cfg }
 
+// Seq returns the current write-sequence counter. Snapshot it before
+// running a query and pass the snapshot to Put; Put drops the store when
+// any write notification arrived in between, so a result computed
+// against a pre-write corpus can never outlive the sweep that should
+// have killed it.
+func (c *Cache) Seq() uint64 { return c.seq.Load() }
+
 // shard maps a key to its lock shard.
 func (c *Cache) shard(k Key) *lockShard { return &c.shards[k.Hi&c.mask] }
 
-// Get returns the value cached under k if it was stored at exactly the
-// given epoch. An entry stored under any other epoch is stale: it is
-// evicted on the spot, counted as an invalidation, and reported as a
-// miss.
-func (c *Cache) Get(k Key, epoch uint64) (Value, bool) {
+// Get returns the value cached under k. Under ScopeEpoch an entry stored
+// before the latest write notification is stale: it is evicted on the
+// spot, counted as an invalidation, and reported as a miss. Under
+// ScopeMBR every stored entry is servable — writes that could have
+// affected it already removed it eagerly.
+func (c *Cache) Get(k Key) (Value, bool) {
 	s := c.shard(k)
 	s.mu.Lock()
-	el, ok := s.items[k]
+	e, ok := s.items[k]
 	if !ok {
 		s.mu.Unlock()
 		c.met.Load().miss()
 		return Value{}, false
 	}
-	e := el.Value.(*entry)
-	if e.epoch != epoch {
-		s.remove(el, c)
+	if c.cfg.Scope == ScopeEpoch && e.seq != c.seq.Load() {
+		s.removeEntry(e, c)
 		s.mu.Unlock()
 		m := c.met.Load()
-		m.invalidate()
+		m.invalidate(1)
 		m.miss()
+		m.shape(c)
 		return Value{}, false
 	}
-	s.ll.MoveToFront(el)
+	s.touch(e)
 	v := e.val
 	s.mu.Unlock()
-	c.met.Load().hit()
+	c.met.Load().hit(v.Cost)
 	return v, true
 }
 
-// Put stores v under k, stamped with the epoch the caller observed
-// before computing it. Values flagged Partial, and values larger than a
-// whole lock shard's byte budget, are dropped. An existing entry under k
-// is replaced (freshest epoch wins). Least-recently-used entries are
-// evicted until both shard caps hold.
-func (c *Cache) Put(k Key, epoch uint64, v Value) {
+// touch registers an access for the replacement policy: LRU moves the
+// entry to the front; GDSF bumps its frequency and recomputes its
+// priority against the current watermark. Caller holds s.mu.
+func (s *lockShard) touch(e *entry) {
+	if s.gdsf {
+		e.freq++
+		e.pri = s.watermark + e.score()
+		s.heapFix(e.hi)
+		return
+	}
+	s.ll.MoveToFront(e.el)
+}
+
+// score is the GDSF frequency × cost / size term (the priority above the
+// aging watermark). Cost is floored to one nanosecond and size to one
+// byte so degenerate values still order sanely.
+func (e *entry) score() float64 {
+	cost := float64(e.val.Cost)
+	if cost < 1 {
+		cost = 1
+	}
+	size := float64(e.val.Bytes)
+	if size < 1 {
+		size = 1
+	}
+	return float64(e.freq) * cost / size
+}
+
+// Put stores v under k, where seq is the Seq() snapshot taken before the
+// result was computed. The store is dropped when any write notification
+// arrived since the snapshot (the result may predate a write whose sweep
+// already passed), when v is flagged Partial, or when v alone exceeds a
+// whole lock shard's byte budget. An existing entry under k is replaced.
+// Entries are then evicted — by recency (PolicyLRU) or lowest GDSF
+// priority (PolicyGDSF) — until both shard caps hold; under GDSF the
+// just-stored entry may itself be the victim (admission control).
+func (c *Cache) Put(k Key, seq uint64, v Value) {
 	if v.Partial {
 		return
 	}
@@ -207,40 +426,201 @@ func (c *Cache) Put(k Key, epoch uint64, v Value) {
 		return
 	}
 	s.mu.Lock()
-	if el, ok := s.items[k]; ok {
-		e := el.Value.(*entry)
-		s.bytes += int64(v.Bytes) - int64(e.val.Bytes)
-		c.bytes.Add(int64(v.Bytes) - int64(e.val.Bytes))
-		e.epoch, e.val = epoch, v
-		s.ll.MoveToFront(el)
+	if c.seq.Load() != seq {
+		s.mu.Unlock()
+		return
+	}
+	if e, ok := s.items[k]; ok {
+		delta := int64(v.Bytes) - int64(e.val.Bytes)
+		s.bytes += delta
+		c.bytes.Add(delta)
+		e.seq, e.val = seq, v
+		s.touch(e)
 	} else {
-		el := s.ll.PushFront(&entry{key: k, epoch: epoch, val: v})
-		s.items[k] = el
+		e := &entry{key: k, seq: seq, val: v, freq: 1}
+		if s.gdsf {
+			e.pri = s.watermark + e.score()
+			s.heapPush(e)
+		} else {
+			e.el = s.ll.PushFront(e)
+		}
+		s.items[k] = e
 		s.bytes += int64(v.Bytes)
 		c.bytes.Add(int64(v.Bytes))
 		c.entries.Add(1)
 	}
+	s.growSummary(v.Region)
 	evicted := 0
-	for (s.ll.Len() > s.maxEntries || s.bytes > s.maxBytes) && s.ll.Len() > 1 {
-		s.remove(s.ll.Back(), c)
+	for (len(s.items) > s.maxEntries || s.bytes > s.maxBytes) && len(s.items) > 0 {
+		victim := s.victim()
+		if s.gdsf {
+			s.watermark = victim.pri
+		}
+		s.removeEntry(victim, c)
 		evicted++
 	}
 	s.mu.Unlock()
 	m := c.met.Load()
-	for i := 0; i < evicted; i++ {
-		m.evict()
-	}
+	m.evict(evicted)
 	m.shape(c)
 }
 
-// remove unlinks el from the shard. Caller holds s.mu.
-func (s *lockShard) remove(el *list.Element, c *Cache) {
-	e := el.Value.(*entry)
-	s.ll.Remove(el)
+// victim returns the entry the policy evicts next. Caller holds s.mu and
+// has checked the shard is non-empty.
+func (s *lockShard) victim() *entry {
+	if s.gdsf {
+		return s.heap[0]
+	}
+	return s.ll.Back().Value.(*entry)
+}
+
+// Invalidate reports a completed write covering the MBR w. It always
+// advances the write-sequence counter (failing every in-flight Put that
+// predates the write). Under ScopeEpoch that is all — entries die lazily
+// on lookup. Under ScopeMBR it sweeps the lock shards, removing exactly
+// the entries whose regions the write can reach and skipping — via the
+// per-shard summaries — shards it provably cannot touch. Pass the empty
+// Rect when the write's extent is unknown; everything is then
+// invalidated.
+func (c *Cache) Invalidate(w geom.Rect) {
+	c.seq.Add(1)
+	m := c.met.Load()
+	m.write()
+	if c.cfg.Scope == ScopeEpoch {
+		return
+	}
+	removed, skipped := 0, 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		if len(s.items) == 0 {
+			s.mu.Unlock()
+			continue
+		}
+		if !s.sumAll && !(Region{Rect: s.sum, Radius: s.sumRadius}).stale(w) {
+			skipped++
+			s.mu.Unlock()
+			continue
+		}
+		for _, e := range s.items {
+			if e.val.Region.stale(w) {
+				s.removeEntry(e, c)
+				removed++
+			}
+		}
+		s.rebuildSummary()
+		s.mu.Unlock()
+	}
+	m.invalidate(removed)
+	m.sweepSkip(skipped)
+	m.shape(c)
+}
+
+// growSummary folds one stored region into the shard summary. Unknown or
+// unbounded regions poison the summary (sumAll): the shard can then
+// never be skipped until a sweep rebuilds it. Caller holds s.mu.
+func (s *lockShard) growSummary(g Region) {
+	if s.sumAll {
+		return
+	}
+	if g.Rect.IsEmpty() || !(g.Radius >= 0) || math.IsInf(g.Radius, 1) ||
+		(!s.sum.IsEmpty() && s.sum.Dim() != g.Rect.Dim()) {
+		s.sumAll = true
+		return
+	}
+	s.sum.ExtendRect(g.Rect)
+	if g.Radius > s.sumRadius {
+		s.sumRadius = g.Radius
+	}
+}
+
+// rebuildSummary recomputes the shard summary from the surviving
+// entries; sweeps call it while already walking the shard. Caller holds
+// s.mu.
+func (s *lockShard) rebuildSummary() {
+	s.sum, s.sumRadius, s.sumAll = geom.Rect{}, 0, false
+	for _, e := range s.items {
+		s.growSummary(e.val.Region)
+	}
+}
+
+// removeEntry unlinks e from the shard's policy structure, map, and byte
+// accounting. Caller holds s.mu.
+func (s *lockShard) removeEntry(e *entry, c *Cache) {
+	if s.gdsf {
+		s.heapRemove(e.hi)
+	} else {
+		s.ll.Remove(e.el)
+	}
 	delete(s.items, e.key)
 	s.bytes -= int64(e.val.Bytes)
 	c.bytes.Add(-int64(e.val.Bytes))
 	c.entries.Add(-1)
+}
+
+// --- GDSF min-heap --------------------------------------------------------
+//
+// A manual binary min-heap over pri with back-pointers (entry.hi), so a
+// hit can fix one entry in place and an arbitrary entry can be removed by
+// a sweep — operations container/heap only offers through interface
+// boxing and index bookkeeping the caller must carry anyway.
+
+func (s *lockShard) heapPush(e *entry) {
+	e.hi = len(s.heap)
+	s.heap = append(s.heap, e)
+	s.heapUp(e.hi)
+}
+
+func (s *lockShard) heapSwap(a, b int) {
+	s.heap[a], s.heap[b] = s.heap[b], s.heap[a]
+	s.heap[a].hi, s.heap[b].hi = a, b
+}
+
+func (s *lockShard) heapUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if s.heap[p].pri <= s.heap[i].pri {
+			break
+		}
+		s.heapSwap(p, i)
+		i = p
+	}
+}
+
+func (s *lockShard) heapDown(i int) {
+	n := len(s.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s.heap[r].pri < s.heap[l].pri {
+			m = r
+		}
+		if s.heap[i].pri <= s.heap[m].pri {
+			break
+		}
+		s.heapSwap(i, m)
+		i = m
+	}
+}
+
+// heapFix restores heap order after s.heap[i]'s priority changed.
+func (s *lockShard) heapFix(i int) {
+	s.heapDown(i)
+	s.heapUp(i)
+}
+
+// heapRemove deletes s.heap[i].
+func (s *lockShard) heapRemove(i int) {
+	last := len(s.heap) - 1
+	s.heapSwap(i, last)
+	s.heap[last] = nil
+	s.heap = s.heap[:last]
+	if i < last {
+		s.heapFix(i)
+	}
 }
 
 // Len returns the number of live entries across all shards.
@@ -249,15 +629,17 @@ func (c *Cache) Len() int { return int(c.entries.Load()) }
 // Bytes returns the summed Value.Bytes of all live entries.
 func (c *Cache) Bytes() int64 { return c.bytes.Load() }
 
-// Purge drops every entry (used by tests and topology changes). Counts
-// nothing into the metrics.
+// Purge drops every entry and resets the aging watermarks (used by tests
+// and topology changes). Counts nothing into the metrics.
 func (c *Cache) Purge() {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		for s.ll.Len() > 0 {
-			s.remove(s.ll.Back(), c)
+		for _, e := range s.items {
+			s.removeEntry(e, c)
 		}
+		s.watermark = 0
+		s.sum, s.sumRadius, s.sumAll = geom.Rect{}, 0, false
 		s.mu.Unlock()
 	}
 	c.met.Load().shape(c)

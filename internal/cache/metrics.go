@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"time"
+
 	"repro/internal/obs"
 )
 
@@ -15,6 +17,9 @@ type Metrics struct {
 	misses        *obs.Counter
 	evictions     *obs.Counter
 	invalidations *obs.Counter
+	writes        *obs.Counter
+	sweepSkips    *obs.Counter
+	costSaved     *obs.Counter
 	entries       *obs.Gauge
 	bytes         *obs.Gauge
 	ratio         *obs.Gauge
@@ -31,13 +36,19 @@ func NewMetrics(reg *obs.Registry, name string) *Metrics {
 	l := obs.Label{Key: "cache", Value: name}
 	return &Metrics{
 		hits: reg.Counter("mdseq_cache_hits_total",
-			"Query-cache lookups served from a live, epoch-current entry.", l),
+			"Query-cache lookups served from a live entry.", l),
 		misses: reg.Counter("mdseq_cache_misses_total",
 			"Query-cache lookups that found nothing servable (absent or stale).", l),
 		evictions: reg.Counter("mdseq_cache_evictions_total",
-			"Entries dropped by the LRU to hold the entry or byte cap.", l),
+			"Entries dropped by the eviction policy (LRU or GDSF) to hold the entry or byte cap.", l),
 		invalidations: reg.Counter("mdseq_cache_invalidations_total",
-			"Entries dropped because a corpus write advanced the epoch past them.", l),
+			"Entries dropped because a corpus write could have affected them (eagerly under scope=mbr, lazily on lookup under scope=epoch).", l),
+		writes: reg.Counter("mdseq_cache_write_notifications_total",
+			"Write notifications (region invalidations) delivered to the query cache.", l),
+		sweepSkips: reg.Counter("mdseq_cache_sweep_skips_total",
+			"Lock shards an MBR-scoped invalidation sweep skipped via the per-shard region summary.", l),
+		costSaved: reg.Counter("mdseq_cache_hit_cost_saved_ns_total",
+			"Summed recorded compute cost, in nanoseconds, of the results served from cache — the work hits avoided redoing.", l),
 		entries: reg.Gauge("mdseq_cache_entries",
 			"Live query-cache entries.", l),
 		bytes: reg.Gauge("mdseq_cache_bytes",
@@ -55,12 +66,16 @@ func (c *Cache) SetMetrics(m *Metrics) {
 	m.shape(c)
 }
 
-// hit counts one served lookup and refreshes the hit-ratio gauge.
-func (m *Metrics) hit() {
+// hit counts one served lookup (and the compute it saved) and refreshes
+// the hit-ratio gauge.
+func (m *Metrics) hit(cost time.Duration) {
 	if m == nil {
 		return
 	}
 	m.hits.Inc()
+	if cost > 0 {
+		m.costSaved.Add(uint64(cost))
+	}
 	m.setRatio()
 }
 
@@ -73,20 +88,36 @@ func (m *Metrics) miss() {
 	m.setRatio()
 }
 
-// evict counts one LRU eviction.
-func (m *Metrics) evict() {
-	if m == nil {
+// evict counts n policy evictions.
+func (m *Metrics) evict(n int) {
+	if m == nil || n == 0 {
 		return
 	}
-	m.evictions.Inc()
+	m.evictions.Add(uint64(n))
 }
 
-// invalidate counts one stale entry dropped on lookup.
-func (m *Metrics) invalidate() {
+// invalidate counts n entries dropped by write invalidation.
+func (m *Metrics) invalidate(n int) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.invalidations.Add(uint64(n))
+}
+
+// write counts one write notification delivered to the cache.
+func (m *Metrics) write() {
 	if m == nil {
 		return
 	}
-	m.invalidations.Inc()
+	m.writes.Inc()
+}
+
+// sweepSkip counts n lock shards a sweep excluded by summary alone.
+func (m *Metrics) sweepSkip(n int) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.sweepSkips.Add(uint64(n))
 }
 
 // shape publishes the current entry and byte gauges.

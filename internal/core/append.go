@@ -76,7 +76,9 @@ func (db *Database) AppendPoints(id uint32, pts []geom.Point) error {
 	if err := db.swapSegmentedLocked(id, g, ng); err != nil {
 		return fmt.Errorf("core: appending to sequence %d: %w", id, err)
 	}
-	db.bumpEpoch()
+	// The extended bounds cover the old ones (points are only added), so
+	// one region covers both versions of the sequence.
+	db.notifyWrite(ng.Bounds())
 	return nil
 }
 
@@ -148,10 +150,13 @@ func (db *Database) ReplaceSegmented(id uint32, ng *Segmented) error {
 		return fmt.Errorf("%w: %d", ErrUnknownSequence, id)
 	}
 	ng.Seq.ID = id
-	if err := db.swapSegmentedLocked(id, db.seqs[id], ng); err != nil {
+	old := db.seqs[id]
+	if err := db.swapSegmentedLocked(id, old, ng); err != nil {
 		return fmt.Errorf("core: replacing sequence %d: %w", id, err)
 	}
-	db.bumpEpoch()
+	// Both versions matter: removing the old one can erase results near
+	// its bounds, the new one can create results near its own.
+	db.notifyWrite(old.Bounds().Union(ng.Bounds()))
 	db.met.SetShape(db.live, db.tree.Len())
 	return nil
 }

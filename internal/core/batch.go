@@ -67,8 +67,8 @@ func (db *Database) SearchBatchCtx(ctx context.Context, qs []*Sequence, eps floa
 	t0 := time.Now()
 
 	// Dedup by fingerprint: identical queries collapse to one slot. The
-	// fingerprint doubles as the cache key, so the epoch snapshot below
-	// covers exactly the queries that will be computed.
+	// fingerprint doubles as the cache key, so the write-sequence
+	// snapshot below covers exactly the queries that will be computed.
 	c := db.qcache.Load()
 	slot := make(map[cache.Key]int, len(qs)) // fingerprint → index into uniq
 	assign := make([]int, len(qs))           // qs index → uniq index
@@ -81,7 +81,12 @@ func (db *Database) SearchBatchCtx(ctx context.Context, qs []*Sequence, eps floa
 			slot[key] = j
 			bq := &batchQuery{q: q, first: i}
 			if c != nil {
-				bq.ref = cacheRef{c: c, key: key, epoch: db.epoch.Load()}
+				bq.ref = cacheRef{
+					c:      c,
+					key:    key,
+					seq:    c.Seq(),
+					region: cache.Region{Rect: geom.BoundingRect(q.Points), Radius: eps},
+				}
 			}
 			uniq = append(uniq, bq)
 		}

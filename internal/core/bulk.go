@@ -24,6 +24,12 @@ func (db *Database) AddAll(seqs []*Sequence) ([]uint32, error) {
 	if err != nil || len(segs) == 0 {
 		return nil, err
 	}
+	// One region notification covers the whole batch: the union of every
+	// added sequence's bounds.
+	var wrote geom.Rect
+	for _, g := range segs {
+		wrote.ExtendRect(g.Bounds())
+	}
 
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -43,7 +49,7 @@ func (db *Database) AddAll(seqs []*Sequence) ([]uint32, error) {
 			}
 			ids[i] = id
 		}
-		db.bumpEpoch()
+		db.notifyWrite(wrote)
 		db.met.RecordBulkAdd(len(seqs))
 		db.met.SetShape(db.live, db.tree.Len())
 		return ids, nil
@@ -64,7 +70,7 @@ func (db *Database) AddAll(seqs []*Sequence) ([]uint32, error) {
 	}
 	db.seqs = segs
 	db.live = len(segs)
-	db.bumpEpoch()
+	db.notifyWrite(wrote)
 	db.met.RecordBulkAdd(len(seqs))
 	db.met.SetShape(db.live, db.tree.Len())
 	return ids, nil

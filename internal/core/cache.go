@@ -2,8 +2,10 @@ package core
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/cache"
+	"repro/internal/geom"
 )
 
 // Query-kind tags folded into cache fingerprints so a range search, a
@@ -111,9 +113,11 @@ func approxKNNBytes(rs []KNNResult) int { return 96 + 40*len(rs) }
 
 // SetCache attaches a query-result cache to the database (nil detaches).
 // Search, SearchParallel, SearchBatch, and SearchKNN consult it before
-// running and fill it after; every write (Add, AddAll, Remove,
-// AppendPoints) advances the database's epoch, which invalidates all
-// prior entries at once without touching the cache. Safe to call while
+// running and fill it after with the result's compute cost (CPUTime) and
+// geometric region; every write (Add, AddAll, Remove, AppendPoints,
+// ReplaceSegmented) advances the database's epoch and notifies the cache
+// with the written sequence's MBR, so only entries the write could have
+// affected are invalidated (see internal/cache). Safe to call while
 // queries are in flight.
 func (db *Database) SetCache(c *cache.Cache) { db.qcache.Store(c) }
 
@@ -121,42 +125,67 @@ func (db *Database) SetCache(c *cache.Cache) { db.qcache.Store(c) }
 func (db *Database) QueryCache() *cache.Cache { return db.qcache.Load() }
 
 // Epoch returns the database's current write epoch: the number of
-// completed write operations. A cached query result is valid exactly
-// when the epoch it was computed under is still current.
+// completed write operations. It is the corpus-version observable
+// (Snapshot staleness checks); cache invalidation rides the region
+// notifications, not this counter.
 func (db *Database) Epoch() uint64 { return db.epoch.Load() }
 
-// bumpEpoch marks a completed write, invalidating every cached result.
-func (db *Database) bumpEpoch() { db.epoch.Add(1) }
+// notifyWrite marks a completed write covering the MBR w: the epoch
+// advances and the attached cache (if any) invalidates every entry the
+// write could have affected. Pass the empty Rect when the write's extent
+// is unknown — everything is then invalidated.
+func (db *Database) notifyWrite(w geom.Rect) {
+	db.epoch.Add(1)
+	if c := db.qcache.Load(); c != nil {
+		c.Invalidate(w)
+	}
+}
 
 // cacheRef is a resolved cache slot for one query: the cache (nil when
-// none is attached), the key, and the epoch snapshotted *before* the
-// query ran. Storing under a pre-query epoch is what makes a concurrent
-// write safe: if a write lands during the search, the entry's epoch is
-// already behind and the entry can never be served.
+// none is attached), the key, the write-sequence snapshot taken *before*
+// the query ran, and the query's region. Storing under a pre-query
+// snapshot is what makes a concurrent write safe: if a write lands
+// during the search, the cache's counter is already past the snapshot
+// and Put drops the entry, so it can never be served stale.
 type cacheRef struct {
-	c     *cache.Cache
-	key   cache.Key
-	epoch uint64
+	c      *cache.Cache
+	key    cache.Key
+	seq    uint64
+	region cache.Region
 }
 
 // rangeRef resolves the cache slot for a range query (shared by the
 // serial, parallel, and batch paths — their results are identical by
-// construction, so they share entries).
+// construction, so they share entries). The region is the query's
+// bounding rectangle with radius ε: by Lemma 1, no write farther than ε
+// from every query point can change the answer.
 func (db *Database) rangeRef(q *Sequence, eps float64) cacheRef {
 	c := db.qcache.Load()
 	if c == nil {
 		return cacheRef{}
 	}
-	return cacheRef{c: c, key: queryFingerprint(fpKindRange, q, eps, db.opts.Partition, 0), epoch: db.epoch.Load()}
+	return cacheRef{
+		c:      c,
+		key:    queryFingerprint(fpKindRange, q, eps, db.opts.Partition, 0),
+		seq:    c.Seq(),
+		region: cache.Region{Rect: geom.BoundingRect(q.Points), Radius: eps},
+	}
 }
 
-// knnRef resolves the cache slot for an unbounded kNN query.
+// knnRef resolves the cache slot for an unbounded kNN query. The
+// region's radius is unknown until the result exists (it is the k-th
+// neighbor's distance); putKNN fills it in.
 func (db *Database) knnRef(q *Sequence, k int) cacheRef {
 	c := db.qcache.Load()
 	if c == nil {
 		return cacheRef{}
 	}
-	return cacheRef{c: c, key: queryFingerprint(fpKindKNN, q, 0, db.opts.Partition, uint64(k)), epoch: db.epoch.Load()}
+	return cacheRef{
+		c:      c,
+		key:    queryFingerprint(fpKindKNN, q, 0, db.opts.Partition, uint64(k)),
+		seq:    c.Seq(),
+		region: cache.Region{Rect: geom.BoundingRect(q.Points)},
+	}
 }
 
 // getRange returns the cached result for this slot, stats flagged
@@ -167,7 +196,7 @@ func (r cacheRef) getRange() ([]Match, SearchStats, bool) {
 	if r.c == nil {
 		return nil, SearchStats{}, false
 	}
-	v, ok := r.c.Get(r.key, r.epoch)
+	v, ok := r.c.Get(r.key)
 	if !ok {
 		return nil, SearchStats{}, false
 	}
@@ -177,16 +206,19 @@ func (r cacheRef) getRange() ([]Match, SearchStats, bool) {
 	return cr.matches, st, true
 }
 
-// putRange stores a completed range search under the pre-query epoch.
-// Partial results are refused by the cache itself (defense in depth;
-// single-node searches are never partial).
+// putRange stores a completed range search under the pre-query
+// write-sequence snapshot, charging the run's CPUTime as the entry's
+// cost. Partial results are refused by the cache itself (defense in
+// depth; single-node searches are never partial).
 func (r cacheRef) putRange(ms []Match, st SearchStats) {
 	if r.c == nil {
 		return
 	}
-	r.c.Put(r.key, r.epoch, cache.Value{
+	r.c.Put(r.key, r.seq, cache.Value{
 		Data:    &cachedRange{matches: ms, stats: st},
 		Bytes:   approxRangeBytes(ms),
+		Cost:    st.CPUTime,
+		Region:  r.region,
 		Partial: st.Partial,
 	})
 }
@@ -196,20 +228,35 @@ func (r cacheRef) getKNN() ([]KNNResult, bool) {
 	if r.c == nil {
 		return nil, false
 	}
-	v, ok := r.c.Get(r.key, r.epoch)
+	v, ok := r.c.Get(r.key)
 	if !ok {
 		return nil, false
 	}
 	return append([]KNNResult(nil), v.Data.(*cachedKNN).results...), true
 }
 
-// putKNN stores a completed kNN query under the pre-query epoch. The
-// slice is copied so later in-place edits by the caller (global-id
-// rewriting in the scatter layer) cannot corrupt the entry.
-func (r cacheRef) putKNN(rs []KNNResult) {
+// putKNN stores a completed kNN query under the pre-query write-sequence
+// snapshot. The slice is copied so later in-place edits by the caller
+// (global-id rewriting in the scatter layer) cannot corrupt the entry.
+// The region radius is the k-th neighbor's distance when the answer is
+// full — a write farther than that from the query cannot displace any
+// neighbor — and +Inf (invalidate on every write) while the corpus holds
+// fewer than k sequences, since any addition could then enter the
+// answer.
+func (r cacheRef) putKNN(rs []KNNResult, k int, took time.Duration) {
 	if r.c == nil {
 		return
 	}
 	rs = append([]KNNResult(nil), rs...)
-	r.c.Put(r.key, r.epoch, cache.Value{Data: &cachedKNN{results: rs}, Bytes: approxKNNBytes(rs)})
+	reg := r.region
+	reg.Radius = math.Inf(1)
+	if len(rs) == k {
+		reg.Radius = rs[len(rs)-1].Dist
+	}
+	r.c.Put(r.key, r.seq, cache.Value{
+		Data:   &cachedKNN{results: rs},
+		Bytes:  approxKNNBytes(rs),
+		Cost:   took,
+		Region: reg,
+	})
 }

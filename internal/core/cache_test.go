@@ -339,9 +339,23 @@ func TestSearchParallelCPUTime(t *testing.T) {
 // a writer keeps adding exact copies of the query while readers run
 // Search and SearchBatch. Any reader observing the completed-adds counter
 // at c must find at least c copies — a smaller result would be a stale
-// cache hit surviving a write. Run with -race.
+// cache hit surviving a write. Runs over every eviction-policy ×
+// invalidation-scope combination; run with -race.
 func TestConcurrentCacheInvalidation(t *testing.T) {
-	db, rng := cachedDB(t, 10, 208)
+	for _, cfg := range cacheConfigs {
+		cfg := cfg
+		t.Run(string(cfg.Policy)+"/"+string(cfg.Scope), func(t *testing.T) {
+			t.Parallel()
+			concurrentInvalidationSoak(t, cfg)
+		})
+	}
+}
+
+func concurrentInvalidationSoak(t *testing.T, cfg cache.Config) {
+	db := newTestDB(t, 3)
+	rng := rand.New(rand.NewSource(208))
+	populateWalks(t, db, 10, rng)
+	db.SetCache(cache.New(cache.Config{Policy: cfg.Policy, Scope: cfg.Scope}))
 	q := randWalkSeq(rng, 24, 3)
 
 	var added atomic.Int64

@@ -50,9 +50,11 @@ type Database struct {
 	live int          // number of non-nil entries in seqs
 	met  *Metrics     // nil until SetMetrics; all methods no-op on nil
 
-	// epoch counts completed writes; qcache (nil until SetCache) holds
-	// query results stamped with the epoch they were computed under, so
-	// one atomic increment invalidates everything (see internal/cache).
+	// epoch counts completed writes (the corpus-version observable);
+	// qcache (nil until SetCache) holds query results tagged with their
+	// compute cost and geometric region. Every write notifies it with
+	// the written sequence's MBR so only entries the write could have
+	// affected are invalidated (see internal/cache).
 	epoch  atomic.Uint64
 	qcache atomic.Pointer[cache.Cache]
 }
@@ -231,7 +233,7 @@ func (db *Database) AddSegmented(g *Segmented) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
-	db.bumpEpoch()
+	db.notifyWrite(g.Bounds())
 	db.met.SetShape(db.live, db.tree.Len())
 	return id, nil
 }
@@ -299,7 +301,7 @@ func (db *Database) Remove(id uint32) error {
 	}
 	db.seqs[id] = nil
 	db.live--
-	db.bumpEpoch()
+	db.notifyWrite(g.Bounds())
 	db.met.SetShape(db.live, db.tree.Len())
 	return nil
 }
@@ -460,9 +462,10 @@ func (db *Database) SearchCtx(ctx context.Context, q *Sequence, eps float64) ([]
 	if eps < 0 {
 		return nil, st, fmt.Errorf("core: negative threshold %g", eps)
 	}
-	// Cache lookup. The epoch is snapshotted here, before the read lock:
-	// any write that lands after this point bumps the epoch past the
-	// snapshot, so the entry we might store below can never be served.
+	// Cache lookup. The write-sequence counter is snapshotted here,
+	// before the read lock: any write that lands after this point moves
+	// the counter past the snapshot, so the entry we might store below
+	// can never be served stale.
 	ref := db.rangeRef(q, eps)
 	tr := obs.FromContext(ctx)
 	if ms, cst, ok := ref.getRange(); ok {

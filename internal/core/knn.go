@@ -155,7 +155,7 @@ func (db *Database) SearchKNNBoundedCtx(ctx context.Context, q *Sequence, k int,
 			obs.Float("pruned_frac", prunedFrac(candidates, refined)))
 	}
 	db.met.RecordKNN(took, refined, candidates-refined)
-	ref.putKNN(out)
+	ref.putKNN(out, k, took)
 	return out, nil
 }
 

@@ -48,7 +48,7 @@ func (db *Database) SearchParallelCtx(ctx context.Context, q *Sequence, eps floa
 	}
 	// The parallel path produces byte-identical results to the serial
 	// one, so it shares the serial path's cache entries (see SearchCtx
-	// for the epoch-snapshot ordering argument).
+	// for the write-sequence snapshot ordering argument).
 	ref := db.rangeRef(q, eps)
 	tr := obs.FromContext(ctx)
 	if ms, cst, ok := ref.getRange(); ok {

@@ -171,6 +171,20 @@ func (g *Segmented) syncSoA() {
 	g.Flat, g.Lo, g.Hi = flat, lo, hi
 }
 
+// Bounds returns the union of the partition MBRs — the sequence's
+// overall minimum bounding rectangle, computed in O(#MBRs) from the
+// partitioning without touching point data. It is the write region the
+// database reports to the query cache (see internal/cache): every point
+// of the sequence lies inside it, so any result a change to this
+// sequence could affect is within MinDist reach of it.
+func (g *Segmented) Bounds() geom.Rect {
+	var r geom.Rect
+	for j := range g.MBRs {
+		r.ExtendRect(g.MBRs[j].Rect)
+	}
+	return r
+}
+
 // PointsIn returns the points covered by MBR j.
 func (g *Segmented) PointsIn(j int) []geom.Point {
 	m := g.MBRs[j]

@@ -401,9 +401,11 @@ func TestBatchEndpointBadRequests(t *testing.T) {
 }
 
 // TestCacheHeaderAndInvalidation drives a cache-enabled server through
-// the ISSUE acceptance story at the HTTP layer: a repeated query is a
-// hit (header + "cached" field), and any write makes every subsequent
-// search a miss again — no pre-write result is ever served.
+// the cache story at the HTTP layer: a repeated query is a hit (header +
+// "cached" field); under the default MBR-scoped invalidation a write far
+// from the query's region leaves the hit standing, while a write inside
+// it makes the next search a miss — no pre-write result is ever served
+// stale.
 func TestCacheHeaderAndInvalidation(t *testing.T) {
 	s, db := newTestServer(t)
 	db.SetCache(cache.New(cache.Config{}))
@@ -440,14 +442,28 @@ func TestCacheHeaderAndInvalidation(t *testing.T) {
 		t.Errorf("cached matches differ: %+v vs %+v", second.Matches, first.Matches)
 	}
 
-	// Any write advances the epoch: the next search recomputes.
-	doJSON(t, s, "POST", "/sequences", SequenceJSON{Label: "new", Points: walkPoints(rng, 40)})
+	// A write provably outside the query's region (all stored points live
+	// in [0,1]³; this one is around 100) cannot change the answer, so the
+	// MBR-scoped cache keeps serving the hit.
+	far := make([][]float64, 10)
+	for i := range far {
+		far[i] = []float64{100 + float64(i)*0.01, 100, 100}
+	}
+	doJSON(t, s, "POST", "/sequences", SequenceJSON{Label: "far", Points: far})
+	kept, hdr := search()
+	if !kept.Cached || hdr != "hit" {
+		t.Errorf("post-far-write search: cached=%v header=%q, want hit", kept.Cached, hdr)
+	}
+
+	// A write inside the query's region invalidates: the next search
+	// recomputes and sees the full ten-sequence corpus.
+	doJSON(t, s, "POST", "/sequences", SequenceJSON{Label: "near", Points: stored[3][5:35]})
 	third, hdr := search()
 	if third.Cached || hdr != "miss" {
 		t.Errorf("post-write search: cached=%v header=%q, want miss", third.Cached, hdr)
 	}
-	if third.Stats.TotalSequences != 9 {
-		t.Errorf("post-write search saw %d sequences, want 9", third.Stats.TotalSequences)
+	if third.Stats.TotalSequences != 10 {
+		t.Errorf("post-write search saw %d sequences, want 10", third.Stats.TotalSequences)
 	}
 }
 

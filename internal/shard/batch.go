@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/geom"
 )
 
 // SearchBatch answers several range queries with one scatter per shard
@@ -46,7 +47,13 @@ func (s *ShardedDB) SearchBatchCtx(ctx context.Context, qs []*core.Sequence, eps
 	}
 	n := len(s.shards)
 	c := s.qcache.Load()
-	epoch := s.epoch.Load() // before any shard is contacted; see scatterSearch
+	// Snapshot the cache's write-sequence counter before any shard is
+	// contacted: an answer gathered across a concurrent write is stored
+	// under the stale snapshot and dropped by Put (see internal/cache).
+	var seq uint64
+	if c != nil {
+		seq = c.Seq()
+	}
 
 	// Collapse duplicates; answer what the front cache already holds.
 	type uq struct {
@@ -73,7 +80,7 @@ func (s *ShardedDB) SearchBatchCtx(ctx context.Context, qs []*core.Sequence, eps
 	var miss []*uq
 	for _, u := range uniq {
 		if c != nil {
-			ref := scatterRef{c: c, key: u.key, epoch: epoch}
+			ref := scatterRef{c: c, key: u.key}
 			if ms, st, _, ok := ref.get(); ok {
 				u.out, u.st, u.done = ms, st, true
 				continue
@@ -150,7 +157,12 @@ func (s *ShardedDB) SearchBatchCtx(ctx context.Context, qs []*core.Sequence, eps
 			u.st.CacheHit = false
 			sort.Slice(u.out, func(a, b int) bool { return u.out[a].SeqID < u.out[b].SeqID })
 			if c != nil {
-				ref := scatterRef{c: c, key: u.key, epoch: epoch}
+				ref := scatterRef{
+					c:      c,
+					key:    u.key,
+					seq:    seq,
+					region: cache.Region{Rect: geom.BoundingRect(u.q.Points), Radius: eps},
+				}
 				ref.put(u.out, u.st, ps)
 			}
 			u.done = true

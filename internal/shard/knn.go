@@ -115,7 +115,7 @@ func (s *ShardedDB) SearchKNNCtx(ctx context.Context, q *core.Sequence, k int) (
 	}
 	out := gather.top()
 	if answered == n {
-		ref.putKNN(out)
+		ref.putKNN(out, k, time.Since(t0))
 	}
 	return out, nil
 }

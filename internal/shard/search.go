@@ -80,9 +80,10 @@ type searchReply struct {
 // ShardsAnswered so callers can tell a complete answer from a degraded
 // one without consulting the per-shard slice.
 func (s *ShardedDB) scatterSearch(ctx context.Context, q *core.Sequence, eps float64, workers int) ([]core.Match, core.SearchStats, []ShardStats, error) {
-	// Front cache: a repeated query skips the whole fan-out. The epoch is
-	// snapshotted here, before any shard is contacted, so a write landing
-	// mid-scatter makes the entry stored below unservable, never stale.
+	// Front cache: a repeated query skips the whole fan-out. The cache's
+	// write-sequence counter is snapshotted here, before any shard is
+	// contacted, so a write landing mid-scatter makes the entry stored
+	// below unservable, never stale.
 	ref := s.rangeRef(q, eps)
 	tr := obs.FromContext(ctx)
 	if ms, st, ps, ok := ref.get(); ok {

@@ -83,8 +83,10 @@ type ShardedDB struct {
 	pol    atomic.Pointer[Policy]       // nil until SetPolicy (zero policy)
 
 	// epoch counts completed writes at the router; qcache (nil until
-	// SetCache) is the merged-result cache in front of the scatter,
-	// invalidated wholesale by any epoch advance (see internal/cache).
+	// SetCache) is the merged-result cache in front of the scatter. Every
+	// router write notifies it with the written sequence's MBR, so only
+	// gathered answers the write could have affected are invalidated
+	// (see internal/cache).
 	epoch  atomic.Uint64
 	qcache atomic.Pointer[cache.Cache]
 
@@ -223,7 +225,7 @@ func (s *ShardedDB) Add(seq *core.Sequence) (uint32, error) {
 		return 0, err
 	}
 	seq.ID = s.globalID(sh, local)
-	s.bumpEpoch()
+	s.notifyWrite(geom.BoundingRect(seq.Points))
 	if m := s.metrics(); m != nil {
 		m.core.RecordAdd(time.Since(t0))
 		m.core.SetShape(s.Len(), s.NumMBRs())
@@ -279,7 +281,12 @@ func (s *ShardedDB) AddAll(seqs []*core.Sequence) ([]uint32, error) {
 			return nil, fmt.Errorf("shard: shard %d: %w", sh, err)
 		}
 	}
-	s.bumpEpoch()
+	// One region notification covers the whole batch.
+	var wrote geom.Rect
+	for _, seq := range seqs {
+		wrote.ExtendRect(geom.BoundingRect(seq.Points))
+	}
+	s.notifyWrite(wrote)
 	if m := s.metrics(); m != nil {
 		m.core.RecordBulkAdd(len(seqs))
 		m.core.SetShape(s.Len(), s.NumMBRs())
@@ -290,13 +297,20 @@ func (s *ShardedDB) AddAll(seqs []*core.Sequence) ([]uint32, error) {
 // Remove deletes the sequence with the given global id.
 func (s *ShardedDB) Remove(global uint32) error {
 	sh, local := s.SplitID(global)
+	// Capture the victim's bounds before it disappears; an unexpectedly
+	// missing directory entry degrades to the empty rect, which the
+	// cache treats as "unknown extent — invalidate everything".
+	var wrote geom.Rect
+	if g := s.shards[sh].Segmented(local); g != nil {
+		wrote = g.Bounds()
+	}
 	if err := s.shards[sh].Remove(local); err != nil {
 		if errors.Is(err, core.ErrUnknownSequence) {
 			return fmt.Errorf("%w: %d", core.ErrUnknownSequence, global)
 		}
 		return err
 	}
-	s.bumpEpoch()
+	s.notifyWrite(wrote)
 	if m := s.metrics(); m != nil {
 		m.core.SetShape(s.Len(), s.NumMBRs())
 	}
@@ -313,7 +327,15 @@ func (s *ShardedDB) AppendPoints(global uint32, pts []geom.Point) error {
 		}
 		return err
 	}
-	s.bumpEpoch()
+	// Post-append bounds cover the pre-append ones (points are only
+	// added), so the extended sequence's MBR is the write region. A
+	// concurrent writer to the same id is covered by its own
+	// notification; a missing entry degrades to invalidate-everything.
+	var wrote geom.Rect
+	if g := s.shards[sh].Segmented(local); g != nil {
+		wrote = g.Bounds()
+	}
+	s.notifyWrite(wrote)
 	return nil
 }
 

@@ -569,14 +569,18 @@ func (db *DB) CandidatesDmbr(q *core.Sequence, eps float64) (map[uint32]bool, er
 }
 
 // Epoch returns the commit version of the latest published state; it
-// changes on every commit, so epoch-validated caches above this layer
-// invalidate correctly.
+// changes on every commit, so corpus-version observers above this layer
+// see every write.
 func (db *DB) Epoch() uint64 { return db.cur.Load().epoch }
 
-// SetCache attaches an epoch-invalidated query cache to the base
-// database (nil detaches). The base's epoch only moves at checkpoint
-// folds, which is the point of this layering: entries stay valid — and
-// keep being served — while commits stream into the delta.
+// SetCache attaches a query cache to the base database (nil detaches).
+// The base only changes at checkpoint folds — commits stream into the
+// delta, whose matches are computed fresh on every search — which is the
+// point of this layering: base entries stay valid, and keep being
+// served, while commits accumulate. A fold replays the delta through the
+// base's ordinary write operations, so the cache hears about each folded
+// sequence's MBR and (under the default MBR scope) invalidates only the
+// entries those regions can affect.
 func (db *DB) SetCache(c *cache.Cache) { db.base.SetCache(c) }
 
 // QueryCache returns the attached cache, or nil.
