@@ -271,3 +271,65 @@ func TestGenVideoDump(t *testing.T) {
 		t.Errorf("video dump header: %q", out.String()[:60])
 	}
 }
+
+func TestQueryMetricDTW(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "d.mds")
+	var out strings.Builder
+	if err := Gen([]string{"-kind", "fractal", "-count", "20", "-maxlen", "120", "-o", data}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []string{"1", "3"} {
+		out.Reset()
+		err := Query([]string{"-data", data, "-query", "3", "-from", "5", "-len", "30",
+			"-eps", "0.25", "-metric", "dtw", "-dtw-window", "8",
+			"-baseline", "-knn", "2", "-shards", shards}, &out)
+		if err != nil {
+			t.Fatalf("shards=%s: %v", shards, err)
+		}
+		s := out.String()
+		for _, want := range []string{
+			"metric dtw:",
+			"env-pruned",
+			"nearest sequences by exact dtw distance",
+			"sequential dtw scan:",
+		} {
+			if !strings.Contains(s, want) {
+				t.Errorf("shards=%s: metric query output missing %q:\n%s", shards, want, s)
+			}
+		}
+		if strings.Contains(s, "false dismissal") {
+			t.Errorf("shards=%s: indexed DTW dismissed a scan result:\n%s", shards, s)
+		}
+		// The query's own source scores DTW 0 and must surface.
+		if !strings.Contains(s, "fractal-0003") {
+			t.Errorf("shards=%s: source sequence missing from DTW output:\n%s", shards, s)
+		}
+	}
+}
+
+func TestQueryMetricValidation(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "d.mds")
+	var out strings.Builder
+	if err := Gen([]string{"-kind", "fractal", "-count", "5", "-o", data}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := Query([]string{"-data", data, "-metric", "chebyshev"}, &out); err == nil {
+		t.Error("unknown -metric accepted")
+	}
+	if err := Query([]string{"-data", data, "-metric", "dtw", "-dtw-window", "-5"}, &out); err == nil {
+		t.Error("-dtw-window -5 accepted")
+	}
+	// A too-narrow window on the -dtw re-rank path surfaces a warning
+	// instead of silently mis-ranking.
+	out.Reset()
+	if err := Query([]string{"-data", data, "-query", "0", "-len", "10",
+		"-eps", "0.5", "-dtw", "-dtw-window", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if s := out.String(); strings.Contains(s, "re-ranked by DTW") &&
+		strings.Contains(s, "unranked") == !strings.Contains(s, "WARNING") {
+		t.Errorf("warning/unranked mismatch in output:\n%s", s)
+	}
+}

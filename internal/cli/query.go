@@ -28,6 +28,8 @@ func Query(args []string, stdout io.Writer) error {
 		topK     = fs.Int("top", 10, "print at most this many matches")
 		knn      = fs.Int("knn", 0, "additionally report the k nearest sequences by exact distance")
 		dtw      = fs.Bool("dtw", false, "re-rank matches by dynamic time warping distance")
+		metric   = fs.String("metric", "d", "search metric: d (exact alignment distance) or dtw (indexed dynamic time warping)")
+		dtwWin   = fs.Int("dtw-window", -1, "Sakoe–Chiba band half-width for DTW (-1 = unconstrained); applies to -metric dtw and -dtw re-ranking")
 		explain  = fs.Bool("explain", false, "print per-sequence pruning decisions")
 		shards   = fs.Int("shards", 1, "hash-partition the corpus over this many shards (scatter-gather search)")
 		metrics  = fs.Bool("metrics", false, "record into a metrics registry and print its Prometheus dump after the run")
@@ -88,11 +90,25 @@ func Query(args []string, stdout io.Writer) error {
 		db.Len(), db.NumMBRs(), db.IndexHeight(), db.Shards(), time.Since(t0).Round(time.Millisecond))
 	fmt.Fprintf(stdout, "query: %d points from %s[%d:%d], eps=%.3f\n", q.Len(), src.Label, *from, end, *eps)
 
+	mt, err := core.ParseMetric(*metric, *dtwWin)
+	if err != nil {
+		return err
+	}
+	if *dtwWin < -1 {
+		return fmt.Errorf("-dtw-window %d: use -1 for unconstrained or a nonnegative half-width", *dtwWin)
+	}
+
 	ctx := context.Background()
 	var tr *obs.Trace
 	if *trace {
 		tr = obs.NewTrace()
 		ctx = obs.WithTrace(ctx, tr)
+	}
+	if _, ok := mt.(core.MetricDTW); ok {
+		if err := queryMetric(ctx, stdout, db, q, *eps, mt, *topK, *knn, *baseline); err != nil {
+			return err
+		}
+		return queryTrailer(stdout, tr, reg)
 	}
 	matches, stats, err := db.SearchCtx(ctx, q, *eps)
 	if err != nil {
@@ -109,8 +125,13 @@ func Query(args []string, stdout io.Writer) error {
 	}
 
 	if *dtw {
-		matches = core.RefineDTW(q, matches, -1)
+		var unaligned int
+		matches, unaligned = core.RefineDTWChecked(q, matches, *dtwWin)
 		fmt.Fprintln(stdout, "(matches re-ranked by DTW)")
+		if unaligned > 0 {
+			fmt.Fprintf(stdout, "WARNING: %d match(es) unranked — DTW window %d admits no alignment (narrower than the length difference); they keep input order at the tail\n",
+				unaligned, *dtwWin)
+		}
 	}
 	for i, m := range matches {
 		if i >= *topK {
@@ -164,6 +185,68 @@ func Query(args []string, stdout io.Writer) error {
 		}
 	}
 
+	return queryTrailer(stdout, tr, reg)
+}
+
+// queryMetric runs the exact-metric query path (-metric dtw): the
+// indexed metric range search, optional metric kNN, and the exhaustive
+// metric-scan baseline with a false-dismissal check.
+func queryMetric(ctx context.Context, stdout io.Writer, db shard.DB, q *core.Sequence,
+	eps float64, mt core.Metric, topK, knn int, baseline bool) error {
+	matches, stats, err := db.SearchMetricCtx(ctx, q, eps, mt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "metric %s: envelope %v | filter %v (%d candidates) | refine %v (env-pruned %d, LB_Keogh-pruned %d, DTW evals %d, %d matches)\n",
+		mt.Name(),
+		stats.Phase1.Round(time.Microsecond),
+		stats.Phase2.Round(time.Microsecond), stats.CandidatesDmbr,
+		stats.Phase3.Round(time.Microsecond),
+		stats.DTWEnvPruned, stats.DTWKeoghPruned, stats.DTWEvals, len(matches))
+	for i, m := range matches {
+		if i >= topK {
+			fmt.Fprintf(stdout, "... and %d more\n", len(matches)-topK)
+			break
+		}
+		fmt.Fprintf(stdout, "  #%d %-14s %s=%.4f\n", m.SeqID, m.Seq.Label, mt.Name(), m.Dist)
+	}
+
+	if knn > 0 {
+		nn, err := db.SearchKNNMetricCtx(ctx, q, knn, mt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\n%d nearest sequences by exact %s distance:\n", len(nn), mt.Name())
+		for _, r := range nn {
+			fmt.Fprintf(stdout, "  #%d %-14s %s=%.4f\n", r.SeqID, r.Seq.Label, mt.Name(), r.Dist)
+		}
+	}
+
+	if baseline {
+		t1 := time.Now()
+		exact, err := db.SequentialSearchMetric(q, eps, mt)
+		if err != nil {
+			return err
+		}
+		scanTime := time.Since(t1)
+		fmt.Fprintf(stdout, "sequential %s scan: %d relevant in %v (index search took %v; %.1fx)\n",
+			mt.Name(), len(exact), scanTime.Round(time.Microsecond), stats.Total().Round(time.Microsecond),
+			float64(scanTime)/float64(stats.Total()))
+		inMatches := make(map[uint32]bool, len(matches))
+		for _, m := range matches {
+			inMatches[m.SeqID] = true
+		}
+		for _, r := range exact {
+			if !inMatches[r.SeqID] {
+				fmt.Fprintf(stdout, "  WARNING: false dismissal of sequence %d (%s=%.4f)\n", r.SeqID, mt.Name(), r.Dist)
+			}
+		}
+	}
+	return nil
+}
+
+// queryTrailer prints the optional trace tree and metrics dump.
+func queryTrailer(stdout io.Writer, tr *obs.Trace, reg *obs.Registry) error {
 	if tr != nil {
 		fmt.Fprintln(stdout, "\n# trace (span tree)")
 		tr.Snapshot().WriteTree(stdout)

@@ -74,7 +74,7 @@ func (db *Database) SearchBatchCtx(ctx context.Context, qs []*Sequence, eps floa
 	assign := make([]int, len(qs))           // qs index → uniq index
 	uniq := make([]*batchQuery, 0, len(qs))
 	for i, q := range qs {
-		key := queryFingerprint(fpKindRange, q, eps, db.opts.Partition, 0)
+		key := queryFingerprint(fpKindRange, MetricD{}, q, eps, db.opts.Partition, 0)
 		j, ok := slot[key]
 		if !ok {
 			j = len(uniq)

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestDTWSpeedup is the acceptance A/B for the DTW metric path: the same
+// kNN workload run through the envelope-pruned indexed search
+// (SearchKNNMetric) and through an exhaustive exact-DTW scan. It asserts
+// the two answer identically — the no-false-dismissal property under
+// timing pressure — and that the pruning ladder actually prunes. With
+// BENCH_DTW_OUT set the measurement is written as BENCH_dtw.json (CI
+// uploads it as an artifact); the range equivalence is also A/B'd and
+// its pruned fraction reported from SearchStats.
+func TestDTWSpeedup(t *testing.T) {
+	const dim, nseq, k = 4, 150, 5
+	const window = 10
+	db := newTestDB(t, dim)
+	rng := rand.New(rand.NewSource(83))
+	seqs := make([]*Sequence, nseq)
+	for i := range seqs {
+		s := randWalkSeq(rng, 40+rng.Intn(80), dim)
+		if _, err := db.Add(s); err != nil {
+			t.Fatal(err)
+		}
+		seqs[i] = s
+	}
+	mt := MetricDTW{Window: window}
+	var qs []*Sequence
+	for i := 0; i < 8; i++ {
+		src := seqs[rng.Intn(len(seqs))]
+		qs = append(qs, &Sequence{Label: "q", Points: src.Points[:30+rng.Intn(30)]})
+	}
+
+	// Exhaustive DTW top-k: every sequence's exact distance, no bounds.
+	scanKNN := func(q *Sequence) []KNNResult {
+		all, err := db.SequentialSearchMetric(q, math.MaxFloat64, mt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []KNNResult
+		for _, m := range all {
+			out = insertKNN(out, KNNResult{SeqID: m.SeqID, Seq: m.Seq, Dist: m.Dist}, k)
+		}
+		return out
+	}
+	runIndexed := func() {
+		for _, q := range qs {
+			if _, err := db.SearchKNNMetric(q, k, mt); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	runScan := func() {
+		for _, q := range qs {
+			scanKNN(q)
+		}
+	}
+
+	// Identical results first — a speedup from wrong answers is no result.
+	for qi, q := range qs {
+		got, err := db.SearchKNNMetric(q, k, mt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := scanKNN(q)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: indexed %d neighbors, scan %d", qi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].SeqID != want[i].SeqID ||
+				math.Float64bits(got[i].Dist) != math.Float64bits(want[i].Dist) {
+				t.Fatalf("query %d neighbor %d: indexed (%d, %v), scan (%d, %v)",
+					qi, i, got[i].SeqID, got[i].Dist, want[i].SeqID, want[i].Dist)
+			}
+		}
+	}
+
+	// Pruning must be real: over the range workload, some candidates die
+	// at the envelope or LB_Keogh rung before the dynamic program.
+	const eps = 0.35
+	var cand, envPruned, keoghPruned, evals int
+	for _, q := range qs {
+		_, st, err := db.SearchMetric(q, eps, mt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cand += st.CandidatesDmbr
+		envPruned += st.DTWEnvPruned
+		keoghPruned += st.DTWKeoghPruned
+		evals += st.DTWEvals
+	}
+	if cand == 0 {
+		t.Fatal("range workload produced no candidates; the A/B measures nothing")
+	}
+	prunedFrac := float64(cand-evals) / float64(cand)
+	if envPruned+keoghPruned == 0 {
+		t.Errorf("no candidate was pruned by a lower bound (candidates %d, evals %d)", cand, evals)
+	}
+	t.Logf("range pruning: %d candidates, %d env-pruned, %d keogh-pruned, %d exact evals (pruned frac %.2f)",
+		cand, envPruned, keoghPruned, evals, prunedFrac)
+
+	// Timing: best of rounds, same shape as the hotpath A/B.
+	runIndexed()
+	runScan()
+	const rounds = 5
+	measure := func(fn func()) time.Duration {
+		best := time.Duration(math.MaxInt64)
+		for i := 0; i < rounds; i++ {
+			t0 := time.Now()
+			fn()
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	scanDur := measure(runScan)
+	idxDur := measure(runIndexed)
+	speedup := float64(scanDur) / float64(idxDur)
+	t.Logf("dim=%d corpus=%d queries=%d k=%d window=%d: scan %v, indexed %v, speedup %.2fx",
+		dim, nseq, len(qs), k, window, scanDur, idxDur, speedup)
+	// The bound computation is itself linear work, so the win is modest on
+	// a small corpus; require it to at least not lose.
+	if speedup < 1.0 {
+		t.Errorf("indexed DTW kNN slower than the exhaustive scan: %.2fx", speedup)
+	}
+
+	if out := os.Getenv("BENCH_DTW_OUT"); out != "" {
+		doc := map[string]any{
+			"name":          "dtw_knn_indexed_vs_scan_ab",
+			"dim":           dim,
+			"corpus":        nseq,
+			"queries":       len(qs),
+			"k":             k,
+			"window":        window,
+			"eps":           eps,
+			"scan_ns":       scanDur.Nanoseconds(),
+			"indexed_ns":    idxDur.Nanoseconds(),
+			"speedup":       speedup,
+			"candidates":    cand,
+			"env_pruned":    envPruned,
+			"keogh_pruned":  keoghPruned,
+			"dtw_evals":     evals,
+			"pruned_frac":   prunedFrac,
+			"rounds":        rounds,
+			"measure":       "best-of-rounds wall time for the full kNN query set; pruning counters from the eps-range workload",
+			"scan_path":     "SequentialSearchMetric (exact DTW per sequence, no bounds)",
+			"indexed_path":  "SearchKNNMetric (envelope index bound + LB_Keogh + early-abandoning DP)",
+			"results_equal": true,
+		}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+			t.Fatalf("writing %s: %v", out, err)
+		}
+		t.Logf("wrote %s", out)
+	}
+}

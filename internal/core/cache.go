@@ -12,8 +12,10 @@ import (
 // kNN query, and any future cached shape with identical point material
 // can never alias each other.
 const (
-	fpKindRange = 0x52 // 'R': three-phase range search (serial, parallel, batch member)
-	fpKindKNN   = 0x4b // 'K': unbounded k-nearest-sequences query
+	fpKindRange       = 0x52 // 'R': three-phase range search (serial, parallel, batch member)
+	fpKindKNN         = 0x4b // 'K': unbounded k-nearest-sequences query
+	fpKindMetricRange = 0x4d // 'M': metric range search (exact-distance result set)
+	fpKindMetricKNN   = 0x6b // 'k': metric k-nearest-sequences query
 )
 
 // fp accumulates the two independent 64-bit hash streams behind a
@@ -48,13 +50,19 @@ func (f *fp) float(v float64) { f.word(math.Float64bits(v)) }
 // key finalizes the fingerprint.
 func (f *fp) key() cache.Key { return cache.Key{Hi: f.h1, Lo: f.h2} }
 
-// queryFingerprint builds the cache key for a query: kind tag, threshold
-// (or k, via extra), the partitioning parameters that shape phase 1, and
+// queryFingerprint builds the cache key for a query: kind tag, the
+// metric's distance semantics (id byte + parameter word, so a DTW result
+// can never alias a D result for the same points and threshold — and two
+// DTW results under different windows can't alias either), threshold (or
+// k, via extra), the partitioning parameters that shape phase 1, and
 // every query coordinate. Everything that can change the result is in
 // the key; the corpus version is handled separately by the epoch.
-func queryFingerprint(kind byte, q *Sequence, eps float64, cfg PartitionConfig, extra uint64) cache.Key {
+func queryFingerprint(kind byte, m Metric, q *Sequence, eps float64, cfg PartitionConfig, extra uint64) cache.Key {
 	f := newFP()
 	f.byte(kind)
+	mid, mparam := m.fingerprint()
+	f.byte(mid)
+	f.word(mparam)
 	f.float(eps)
 	f.float(cfg.QueryExtent)
 	f.word(uint64(cfg.MaxPoints))
@@ -74,13 +82,25 @@ func queryFingerprint(kind byte, q *Sequence, eps float64, cfg PartitionConfig, 
 // scatter layer uses it to key its merged-result cache with the same
 // material (its config mirrors every shard's).
 func RangeCacheKey(q *Sequence, eps float64, cfg PartitionConfig) cache.Key {
-	return queryFingerprint(fpKindRange, q, eps, cfg, 0)
+	return queryFingerprint(fpKindRange, MetricD{}, q, eps, cfg, 0)
 }
 
 // KNNCacheKey returns the fingerprint an unbounded kNN query's result is
 // cached under.
 func KNNCacheKey(q *Sequence, k int, cfg PartitionConfig) cache.Key {
-	return queryFingerprint(fpKindKNN, q, 0, cfg, uint64(k))
+	return queryFingerprint(fpKindKNN, MetricD{}, q, 0, cfg, uint64(k))
+}
+
+// MetricRangeCacheKey returns the fingerprint a metric range search is
+// cached under: the metric's identity and window are part of the key.
+func MetricRangeCacheKey(q *Sequence, eps float64, cfg PartitionConfig, m Metric) cache.Key {
+	return queryFingerprint(fpKindMetricRange, m, q, eps, cfg, 0)
+}
+
+// MetricKNNCacheKey returns the fingerprint a metric kNN query is cached
+// under.
+func MetricKNNCacheKey(q *Sequence, k int, cfg PartitionConfig, m Metric) cache.Key {
+	return queryFingerprint(fpKindMetricKNN, m, q, 0, cfg, uint64(k))
 }
 
 // cachedRange is the memoized product of one range search: the match
@@ -95,6 +115,12 @@ type cachedRange struct {
 // are copied on every hit because scatter-gather callers rewrite SeqID
 // in place when mapping local ids to global ones.
 type cachedKNN struct{ results []KNNResult }
+
+// cachedMetricRange is the memoized product of one metric range search.
+type cachedMetricRange struct {
+	matches []MetricMatch
+	stats   SearchStats
+}
 
 // approxRangeBytes estimates the retained size of a cached range result
 // for the cache's byte cap: slice headers and fixed fields plus the
@@ -166,9 +192,43 @@ func (db *Database) rangeRef(q *Sequence, eps float64) cacheRef {
 	}
 	return cacheRef{
 		c:      c,
-		key:    queryFingerprint(fpKindRange, q, eps, db.opts.Partition, 0),
+		key:    queryFingerprint(fpKindRange, MetricD{}, q, eps, db.opts.Partition, 0),
 		seq:    c.Seq(),
 		region: cache.Region{Rect: geom.BoundingRect(q.Points), Radius: eps},
+	}
+}
+
+// metricRangeRef resolves the cache slot for a metric range search. The
+// region semantics carry over to every supported metric: a write farther
+// than ε from the query's bounding rectangle has MinDist > ε to every
+// query point, and both D and windowed DTW are lower-bounded by that
+// MinDist (each distance averages per-point Euclidean terms, every one
+// at least the rect gap), so it cannot enter or leave the answer.
+func (db *Database) metricRangeRef(q *Sequence, eps float64, m Metric) cacheRef {
+	c := db.qcache.Load()
+	if c == nil {
+		return cacheRef{}
+	}
+	return cacheRef{
+		c:      c,
+		key:    queryFingerprint(fpKindMetricRange, m, q, eps, db.opts.Partition, 0),
+		seq:    c.Seq(),
+		region: cache.Region{Rect: geom.BoundingRect(q.Points), Radius: eps},
+	}
+}
+
+// metricKNNRef resolves the cache slot for an unbounded metric kNN
+// query; putMetricKNN fills the region radius (the k-th distance) in.
+func (db *Database) metricKNNRef(q *Sequence, k int, m Metric) cacheRef {
+	c := db.qcache.Load()
+	if c == nil {
+		return cacheRef{}
+	}
+	return cacheRef{
+		c:      c,
+		key:    queryFingerprint(fpKindMetricKNN, m, q, 0, db.opts.Partition, uint64(k)),
+		seq:    c.Seq(),
+		region: cache.Region{Rect: geom.BoundingRect(q.Points)},
 	}
 }
 
@@ -182,7 +242,7 @@ func (db *Database) knnRef(q *Sequence, k int) cacheRef {
 	}
 	return cacheRef{
 		c:      c,
-		key:    queryFingerprint(fpKindKNN, q, 0, db.opts.Partition, uint64(k)),
+		key:    queryFingerprint(fpKindKNN, MetricD{}, q, 0, db.opts.Partition, uint64(k)),
 		seq:    c.Seq(),
 		region: cache.Region{Rect: geom.BoundingRect(q.Points)},
 	}
@@ -217,6 +277,37 @@ func (r cacheRef) putRange(ms []Match, st SearchStats) {
 	r.c.Put(r.key, r.seq, cache.Value{
 		Data:    &cachedRange{matches: ms, stats: st},
 		Bytes:   approxRangeBytes(ms),
+		Cost:    st.CPUTime,
+		Region:  r.region,
+		Partial: st.Partial,
+	})
+}
+
+// getMetricRange returns the cached metric range result for this slot,
+// stats flagged CacheHit.
+func (r cacheRef) getMetricRange() ([]MetricMatch, SearchStats, bool) {
+	if r.c == nil {
+		return nil, SearchStats{}, false
+	}
+	v, ok := r.c.Get(r.key)
+	if !ok {
+		return nil, SearchStats{}, false
+	}
+	cr := v.Data.(*cachedMetricRange)
+	st := cr.stats
+	st.CacheHit = true
+	return cr.matches, st, true
+}
+
+// putMetricRange stores a completed metric range search under the
+// pre-query write-sequence snapshot.
+func (r cacheRef) putMetricRange(ms []MetricMatch, st SearchStats) {
+	if r.c == nil {
+		return
+	}
+	r.c.Put(r.key, r.seq, cache.Value{
+		Data:    &cachedMetricRange{matches: ms, stats: st},
+		Bytes:   160 + 40*len(ms),
 		Cost:    st.CPUTime,
 		Region:  r.region,
 		Partial: st.Partial,

@@ -378,8 +378,8 @@ func (db *Database) ResetPagerStats() { db.pg.ResetStats() }
 // Match is one sequence surviving phase 3, with its approximated solution
 // interval.
 type Match struct {
-	SeqID uint32
-	Seq   *Sequence
+	SeqID uint32    // database id of the matching sequence
+	Seq   *Sequence // the matching sequence itself
 	// MinDnorm is the smallest Dnorm over all (query MBR, data MBR)
 	// pairs — a lower bound on D(Q,S), usable for ranking.
 	MinDnorm float64
@@ -427,6 +427,16 @@ type SearchStats struct {
 	// answer is complete, and it is 0 when the stats did not pass
 	// through a scatter merge (plain single-node search).
 	ShardsAnswered int
+	// DTWEnvPruned counts candidates the envelope-vs-MBR lower bound
+	// dismissed during a MetricDTW search, before any point data was
+	// read. Zero for non-DTW searches.
+	DTWEnvPruned int
+	// DTWKeoghPruned counts envelope survivors the LB_Keogh refinement
+	// bound dismissed before the exact dynamic program.
+	DTWKeoghPruned int
+	// DTWEvals counts exact DTW dynamic programs run (including early
+	// abandoned ones).
+	DTWEvals int
 }
 
 // Total returns the end-to-end wall-clock search duration. For merged
@@ -494,6 +504,22 @@ func (db *Database) SearchCtx(ctx context.Context, q *Sequence, eps float64) ([]
 	sc := getScratch()
 	defer putScratch(sc)
 
+	out, err := db.rangePhases(ctx, q, eps, sc, &st, tr)
+	if err != nil {
+		return nil, st, err
+	}
+	st.CPUTime = st.Total()
+	db.met.RecordSearch(st)
+	ref.putRange(out, st)
+	return out, st, nil
+}
+
+// rangePhases runs the three phases of SIMILARITY_SEARCH out of the
+// given scratch, accumulating into st. The caller holds the read lock,
+// has verified the database is open, and owns stats finalization
+// (CPUTime, metrics recording, caching). Shared by SearchCtx and the
+// MetricD refinement path of SearchMetricCtx.
+func (db *Database) rangePhases(ctx context.Context, q *Sequence, eps float64, sc *searchScratch, st *SearchStats, tr *obs.Trace) ([]Match, error) {
 	// Phase 1: partition the query sequence.
 	t0 := time.Now()
 	sc.segmentQuery(q, db.opts.Partition)
@@ -512,12 +538,12 @@ func (db *Database) SearchCtx(ctx context.Context, q *Sequence, eps float64) ([]
 	sc.refs = sc.refs[:0]
 	for i := range sc.qmbrs {
 		if err := searchCanceled(ctx); err != nil {
-			return nil, st, err
+			return nil, err
 		}
 		var err error
 		sc.refs, err = db.tree.AppendWithinDist(sc.qmbrs[i].Rect, eps, sc.refs)
 		if err != nil {
-			return nil, st, err
+			return nil, err
 		}
 	}
 	st.IndexEntriesHit = len(sc.refs)
@@ -540,7 +566,7 @@ func (db *Database) SearchCtx(ctx context.Context, q *Sequence, eps float64) ([]
 	for ci, id := range ids {
 		if ci%cancelCheckEvery == 0 {
 			if err := searchCanceled(ctx); err != nil {
-				return nil, st, err
+				return nil, err
 			}
 		}
 		m, hit, evals := phase3Flat(sc.qmbrs, &sc.p3, db.seqs[id], q.Len(), eps)
@@ -559,10 +585,7 @@ func (db *Database) SearchCtx(ctx context.Context, q *Sequence, eps float64) ([]
 			obs.Int("matches", st.MatchesDnorm),
 			obs.Float("pruned_frac", prunedFrac(st.CandidatesDmbr, st.MatchesDnorm)))
 	}
-	st.CPUTime = st.Total()
-	db.met.RecordSearch(st)
-	ref.putRange(out, st)
-	return out, st, nil
+	return out, nil
 }
 
 // phase3One runs the Dnorm pruning and solution-interval assembly for one

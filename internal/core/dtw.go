@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/geom"
 )
@@ -15,9 +16,14 @@ import (
 // the Sakoe–Chiba band half-width constraining |i−j|; window < 0 means
 // unconstrained.
 //
-// DTW is not a lower-boundable metric in this system — it is offered as a
-// refinement step: range-search with D (fast, no false dismissals), then
-// re-rank the survivors with DTW when elastic matching is wanted.
+// DTW is served through the index by the MetricDTW search path
+// (SearchMetric, SearchKNNMetric), which pairs it with envelope lower
+// bounds so there are no false dismissals; this function is the exact
+// distance itself, also usable directly and as the RefineDTW re-rank step.
+//
+// The dynamic program runs out of the pooled search scratch — the two DP
+// rows and the flat point copies are reused across calls, so a warmed
+// steady state computes DTW with zero allocations (see TestDTWAllocs).
 func DTW(a, b []geom.Point, window int) (float64, error) {
 	n, m := len(a), len(b)
 	if n == 0 || m == 0 {
@@ -27,41 +33,21 @@ func DTW(a, b []geom.Point, window int) (float64, error) {
 		// A band narrower than the length difference admits no path.
 		return 0, fmt.Errorf("core: DTW window %d narrower than length difference %d", window, abs(n-m))
 	}
-	// Two-row dynamic program; rows indexed by i over a, columns by j
-	// over b.
-	prev := make([]float64, m+1)
-	cur := make([]float64, m+1)
-	for j := range prev {
-		prev[j] = math.Inf(1)
+	d := len(a[0])
+	sc := getScratch()
+	defer putScratch(sc)
+	ds := &sc.dtw
+	ds.qbuf = ensureFloats(ds.qbuf, n*d)
+	ds.sbuf = ensureFloats(ds.sbuf, m*d)
+	for i, p := range a {
+		copy(ds.qbuf[i*d:(i+1)*d], p)
 	}
-	prev[0] = 0
-	for i := 1; i <= n; i++ {
-		for j := range cur {
-			cur[j] = math.Inf(1)
-		}
-		lo, hi := 1, m
-		if window >= 0 {
-			if l := i - window; l > lo {
-				lo = l
-			}
-			if h := i + window; h < hi {
-				hi = h
-			}
-		}
-		for j := lo; j <= hi; j++ {
-			d := a[i-1].Dist(b[j-1])
-			best := prev[j] // insertion (advance a only)
-			if prev[j-1] < best {
-				best = prev[j-1] // match (advance both)
-			}
-			if cur[j-1] < best {
-				best = cur[j-1] // deletion (advance b only)
-			}
-			cur[j] = d + best
-		}
-		prev, cur = cur, prev
+	for j, p := range b {
+		copy(ds.sbuf[j*d:(j+1)*d], p)
 	}
-	total := prev[m]
+	ds.prev = ensureFloats(ds.prev, m+1)
+	ds.cur = ensureFloats(ds.cur, m+1)
+	total := dtwFlat(ds.qbuf, n, ds.sbuf, m, d, window, math.Inf(1), ds.prev, ds.cur)
 	if math.IsInf(total, 1) {
 		return 0, fmt.Errorf("core: DTW window %d admits no alignment for lengths %d, %d", window, n, m)
 	}
@@ -80,15 +66,25 @@ func DTW(a, b []geom.Point, window int) (float64, error) {
 // the end. This composes the paper's pruning machinery with the elastic
 // metric its related-work section discusses.
 func RefineDTW(q *Sequence, matches []Match, window int) []Match {
+	out, _ := RefineDTWChecked(q, matches, window)
+	return out
+}
+
+// RefineDTWChecked is RefineDTW, additionally reporting how many matches
+// could not be scored because the window admitted no alignment (band
+// narrower than the length difference, or an empty interval) — the count
+// serving layers surface so a too-narrow -dtw-window is visible instead
+// of silently leaving matches unranked at the tail.
+func RefineDTWChecked(q *Sequence, matches []Match, window int) ([]Match, int) {
 	type scored struct {
-		m    Match
-		d    float64
-		ok   bool
-		rank int
+		m  Match
+		d  float64
+		ok bool
 	}
 	ss := make([]scored, len(matches))
+	unaligned := 0
 	for i, m := range matches {
-		ss[i] = scored{m: m, rank: i}
+		ss[i] = scored{m: m}
 		// Compare against the densest matching range (the longest one).
 		var best PointRange
 		for _, r := range m.Interval.Ranges() {
@@ -97,38 +93,30 @@ func RefineDTW(q *Sequence, matches []Match, window int) []Match {
 			}
 		}
 		if best.Len() == 0 {
+			unaligned++
 			continue
 		}
 		d, err := DTW(q.Points, m.Seq.Points[best.Start:best.End], window)
-		if err == nil {
-			ss[i].d, ss[i].ok = d, true
+		if err != nil {
+			unaligned++
+			continue
 		}
+		ss[i].d, ss[i].ok = d, true
 	}
-	out := make([]Match, 0, len(matches))
-	// Stable selection: scored ascending first, then unscored in input
-	// order.
-	for {
-		bestIdx := -1
-		for i := range ss {
-			if ss[i].rank < 0 || !ss[i].ok {
-				continue
-			}
-			if bestIdx < 0 || ss[i].d < ss[bestIdx].d {
-				bestIdx = i
-			}
+	// Scored matches ascending by distance, ties and the unscored tail in
+	// input order: a single stable sort with "unscored after scored" as
+	// the secondary key replaces the former O(n²) selection pass.
+	sort.SliceStable(ss, func(a, b int) bool {
+		if ss[a].ok != ss[b].ok {
+			return ss[a].ok
 		}
-		if bestIdx < 0 {
-			break
-		}
-		out = append(out, ss[bestIdx].m)
-		ss[bestIdx].rank = -1
-	}
+		return ss[a].ok && ss[a].d < ss[b].d
+	})
+	out := make([]Match, len(ss))
 	for i := range ss {
-		if ss[i].rank >= 0 && !ss[i].ok {
-			out = append(out, ss[i].m)
-		}
+		out[i] = ss[i].m
 	}
-	return out
+	return out, unaligned
 }
 
 func abs(x int) int {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"runtime/debug"
 	"testing"
 
 	"repro/internal/geom"
@@ -164,4 +165,72 @@ func mustDTW(t *testing.T, a, b []geom.Point) float64 {
 		t.Fatal(err)
 	}
 	return d
+}
+
+// TestDTWAllocs is the DP-scratch pooling gate: after warming, repeated
+// DTW calls reuse the pooled rows and point buffers and allocate nothing.
+// Before the pooling fix every call allocated two DP rows per invocation.
+func TestDTWAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool deliberately drops Puts under -race; alloc gate needs a non-race build")
+	}
+	rng := rand.New(rand.NewSource(41))
+	a := randWalkSeq(rng, 60, 4).Points
+	b := randWalkSeq(rng, 75, 4).Points
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	for i := 0; i < 3; i++ {
+		if _, err := DTW(a, b, -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := DTW(a, b, -1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed DTW allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestRefineDTWCheckedTieAndTailOrder is the regression for the ranking
+// rewrite: equal-distance matches must keep their input order (the old
+// selection pass was not stable), and matches the window cannot score
+// must keep their input order at the tail, with the unaligned count
+// reported.
+func TestRefineDTWCheckedTieAndTailOrder(t *testing.T) {
+	mk := func(id uint32, pts []geom.Point) Match {
+		seq := &Sequence{Label: "s", Points: pts}
+		var iv IntervalSet
+		iv.Add(PointRange{Start: 0, End: len(pts)})
+		return Match{SeqID: id, Seq: seq, Interval: iv}
+	}
+	q := &Sequence{Label: "q", Points: pts1d(0, 0.5, 1)}
+	same := pts1d(0, 0.5, 1)                    // DTW 0 — tied
+	far := pts1d(0.9, 0.2, 0.7)                 // DTW > 0
+	long := pts1d(0, 0, 0, 0, 0, 0, 0, 0, 0, 0) // length diff 7 > window 2: unscorable
+
+	in := []Match{mk(10, long), mk(11, same), mk(12, far), mk(13, same), mk(14, long), mk(15, same)}
+	out, unaligned := RefineDTWChecked(q, in, 2)
+	if unaligned != 2 {
+		t.Fatalf("unaligned = %d, want 2", unaligned)
+	}
+	var order []uint32
+	for _, m := range out {
+		order = append(order, m.SeqID)
+	}
+	// Tied zero-distance matches 11, 13, 15 keep input order, then 12,
+	// then the unscorable 10, 14 in input order at the tail.
+	want := []uint32{11, 13, 15, 12, 10, 14}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	// An empty interval is also unscorable and lands in the tail.
+	empty := Match{SeqID: 20, Seq: &Sequence{Label: "e", Points: same}}
+	out, unaligned = RefineDTWChecked(q, []Match{empty, mk(21, same)}, -1)
+	if unaligned != 1 || out[0].SeqID != 21 || out[1].SeqID != 20 {
+		t.Fatalf("empty-interval match not tailed: unaligned=%d order=%v,%v", unaligned, out[0].SeqID, out[1].SeqID)
+	}
 }

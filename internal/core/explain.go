@@ -14,16 +14,16 @@ import (
 // Search — when a sequence you expected is missing, Explain shows which
 // bound excluded it.
 type Explanation struct {
-	Eps       float64
-	QueryMBRs []MBRInfo
+	Eps       float64   // the threshold the decisions were made against
+	QueryMBRs []MBRInfo // the query's MCOST partitioning
 	// Candidates covers every stored sequence, sorted by id.
 	Candidates []CandidateExplanation
 }
 
 // CandidateExplanation is one sequence's fate in the pipeline.
 type CandidateExplanation struct {
-	SeqID    uint32
-	Label    string
+	SeqID    uint32  // database id of the candidate
+	Label    string  // its label, for human-readable reports
 	MinDmbr  float64 // min over (query MBR, data MBR) pairs
 	MinDnorm float64 // min over query MBRs of the window-sweep minimum
 	// Phase is the furthest stage reached: "pruned-dmbr" (never became a

@@ -9,12 +9,13 @@ import (
 // PointRange is a half-open range [Start, End) of point indices within one
 // data sequence.
 type PointRange struct {
-	Start, End int
+	Start, End int // half-open [Start, End) point indices
 }
 
 // Len returns the number of points in the range.
 func (r PointRange) Len() int { return r.End - r.Start }
 
+// String renders the range in half-open interval notation.
 func (r PointRange) String() string { return fmt.Sprintf("[%d,%d)", r.Start, r.End) }
 
 // IntervalSet is a normalized set of point ranges — the solution interval
@@ -98,6 +99,7 @@ func (s *IntervalSet) IntersectCount(t *IntervalSet) int {
 // IsEmpty reports whether the set covers no points.
 func (s *IntervalSet) IsEmpty() bool { return len(s.ranges) == 0 }
 
+// String renders the set as a brace-wrapped list of its ranges.
 func (s *IntervalSet) String() string {
 	if len(s.ranges) == 0 {
 		return "{}"

@@ -13,8 +13,8 @@ import (
 
 // KNNResult is one ranked result of a k-nearest-sequences query.
 type KNNResult struct {
-	SeqID uint32
-	Seq   *Sequence
+	SeqID uint32    // database id of the neighbor
+	Seq   *Sequence // the neighbor itself
 	// Dist is the exact sequence distance D(Q,S).
 	Dist float64
 	// Offset is the best alignment of the shorter side inside the longer.

@@ -41,6 +41,13 @@ type Metrics struct {
 	addSecs  *obs.Histogram
 	liveSeqs *obs.Gauge
 	liveMBRs *obs.Gauge
+
+	dtwSearches    *obs.Counter
+	dtwKNN         *obs.Counter
+	dtwCandidates  *obs.Counter
+	dtwEnvPruned   *obs.Counter
+	dtwKeoghPruned *obs.Counter
+	dtwEvals       *obs.Counter
 }
 
 // phaseNames label the three phases of the search algorithm in
@@ -90,6 +97,18 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Live (non-removed) sequences currently stored."),
 		liveMBRs: reg.Gauge("mdseq_index_mbrs",
 			"Partition MBRs currently indexed in the R*-tree."),
+		dtwSearches: reg.Counter("mdseq_dtw_search_total",
+			"Range searches served under the DTW metric (envelope-pruned index path)."),
+		dtwKNN: reg.Counter("mdseq_dtw_knn_total",
+			"k-nearest-sequence queries served under the DTW metric."),
+		dtwCandidates: reg.Counter("mdseq_dtw_candidates_total",
+			"Candidate sequences entering DTW refinement ordering, summed over DTW queries."),
+		dtwEnvPruned: reg.Counter("mdseq_dtw_env_pruned_total",
+			"Candidates dismissed by the envelope-vs-MBR index lower bound without touching point data."),
+		dtwKeoghPruned: reg.Counter("mdseq_dtw_keogh_pruned_total",
+			"Candidates dismissed by the multidimensional LB_Keogh bound before the exact dynamic program."),
+		dtwEvals: reg.Counter("mdseq_dtw_evals_total",
+			"Exact DTW dynamic-program evaluations (refinement survivors)."),
 	}
 	for i, name := range phaseNames {
 		m.phaseSecs[i] = reg.Histogram("mdseq_search_phase_seconds",
@@ -137,6 +156,26 @@ func (m *Metrics) RecordKNN(d time.Duration, refined, pruned int) {
 	m.knnSecs.ObserveDuration(d)
 	m.knnRefined.Add(uint64(refined))
 	m.knnPruned.Add(uint64(pruned))
+}
+
+// RecordDTW folds one completed DTW-metric query's pruning ladder into
+// the registry: how many Dmbr candidates entered refinement ordering,
+// how many each lower-bound tier dismissed, and how many reached the
+// exact dynamic program — the DTW analogue of the filter-selectivity
+// ratios. knn selects which query counter increments.
+func (m *Metrics) RecordDTW(knn bool, candidates, envPruned, keoghPruned, evals int) {
+	if m == nil {
+		return
+	}
+	if knn {
+		m.dtwKNN.Inc()
+	} else {
+		m.dtwSearches.Inc()
+	}
+	m.dtwCandidates.Add(uint64(candidates))
+	m.dtwEnvPruned.Add(uint64(envPruned))
+	m.dtwKeoghPruned.Add(uint64(keoghPruned))
+	m.dtwEvals.Add(uint64(evals))
 }
 
 // RecordAdd folds one single-sequence ingest into the registry.

@@ -9,8 +9,8 @@ import (
 // MBRInfo is one partition of a sequence: the minimum bounding rectangle of
 // the points in the half-open index range [Start, End).
 type MBRInfo struct {
-	Rect       geom.Rect
-	Start, End int
+	Rect       geom.Rect // bounding rectangle of the covered points
+	Start, End int       // half-open point-index range the MBR covers
 }
 
 // Count returns the number of points the MBR encloses (the paper's m_j).
@@ -118,8 +118,8 @@ func Partition(s *Sequence, cfg PartitionConfig) ([]MBRInfo, error) {
 // the same data — Flat/Lo/Hi — which the search kernels scan as one
 // contiguous float64 run instead of chasing a pointer per point or MBR.
 type Segmented struct {
-	Seq  *Sequence
-	MBRs []MBRInfo
+	Seq  *Sequence // the partitioned sequence
+	MBRs []MBRInfo // its MCOST partitioning, in point order
 
 	// Flat is the columnar copy of Seq.Points: point i occupies
 	// Flat[i*d : (i+1)*d]. It backs the flat alignment kernel used by kNN

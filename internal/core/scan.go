@@ -10,10 +10,10 @@ import (
 // sequential scan: its true distance D(Q,S) and the exact solution
 // interval of Definition 6.
 type ScanResult struct {
-	SeqID    uint32
-	Seq      *Sequence
-	Dist     float64
-	Interval IntervalSet
+	SeqID    uint32      // database id of the relevant sequence
+	Seq      *Sequence   // the relevant sequence itself
+	Dist     float64     // exact distance D(Q,S)
+	Interval IntervalSet // exact solution interval (Definition 6)
 }
 
 // OffsetProfile returns, for a query q (length k) against data points s

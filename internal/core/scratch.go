@@ -33,6 +33,10 @@ type searchScratch struct {
 	heap []knnCand
 
 	p3 phase3Scratch
+
+	// dtw holds the DTW workspace: DP rows, flat copies, and the
+	// Sakoe–Chiba envelope arrays of the metric search path.
+	dtw dtwScratch
 }
 
 // phase3Scratch holds the per-candidate Dnorm arrays. It is separate from

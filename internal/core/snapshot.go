@@ -104,3 +104,20 @@ func EvalMinDnorm(qseg *Segmented, g *Segmented) float64 {
 	defer putScratch(sc)
 	return minDnormFlat(qseg.MBRs, &sc.p3, g)
 }
+
+// EvalMetric computes the exact metric distance between a partitioned
+// query and one candidate — the metric-search analogue of EvalAlign,
+// using the same kernels as the indexed metric path with the cutoff
+// disabled, so the value is exact and bit-identical to it. +Inf means
+// the metric admits no alignment (DTW window narrower than the length
+// difference) — never a match.
+func EvalMetric(qseg *Segmented, g *Segmented, m Metric) float64 {
+	if m == nil {
+		m = MetricD{}
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.qflat = ensureFloats(sc.qflat, len(qseg.Flat))
+	copy(sc.qflat, qseg.Flat)
+	return sc.distanceSeq(m, g, qseg.Seq.Dim(), math.Inf(1))
+}

@@ -109,6 +109,35 @@ func MinDistSqBatch(qL, qH, lo, hi []float64, out []float64) {
 	}
 }
 
+// MinDistPointSqFlat returns the squared minimum Euclidean distance
+// between a point and the hyper-rectangle (lo, hi), all given as flat
+// coordinate slices of one dimensionality — the degenerate-rectangle form
+// of MinDistSqLH used by envelope lower bounds (a point inside the box
+// contributes 0 on every axis). The sum runs over p's indices in order.
+func MinDistPointSqFlat(p, lo, hi []float64) float64 {
+	switch len(p) {
+	case 1:
+		return minDistSqGap(p[0], p[0], lo[0], hi[0])
+	case 2:
+		return minDistSqGap(p[0], p[0], lo[0], hi[0]) +
+			minDistSqGap(p[1], p[1], lo[1], hi[1])
+	case 3:
+		return minDistSqGap(p[0], p[0], lo[0], hi[0]) +
+			minDistSqGap(p[1], p[1], lo[1], hi[1]) +
+			minDistSqGap(p[2], p[2], lo[2], hi[2])
+	case 4:
+		return minDistSqGap(p[0], p[0], lo[0], hi[0]) +
+			minDistSqGap(p[1], p[1], lo[1], hi[1]) +
+			minDistSqGap(p[2], p[2], lo[2], hi[2]) +
+			minDistSqGap(p[3], p[3], lo[3], hi[3])
+	}
+	var sum float64
+	for k := range p {
+		sum += minDistSqGap(p[k], p[k], lo[k], hi[k])
+	}
+	return sum
+}
+
 // DistSqFlat returns the squared Euclidean distance between two points
 // stored as flat coordinate slices of equal length — the stride-indexed
 // form of Point.DistSq for columnar point storage. The sum runs over a's

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// metricTestServer builds a server over a small corpus plus a handle to
+// the database for computing expected answers directly.
+func metricTestServer(t *testing.T, opts ...Option) (*Server, *core.Database, [][]float64) {
+	t.Helper()
+	db, err := core.NewDatabase(core.Options{Dim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	rng := rand.New(rand.NewSource(71))
+	var qpts [][]float64
+	for i := 0; i < 25; i++ {
+		pts := walkPoints(rng, 20+rng.Intn(60))
+		if i == 0 {
+			qpts = pts[:15]
+		}
+		seq, err := toSequence(SequenceJSON{Label: "s", Points: pts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Add(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return New(db, opts...), db, qpts
+}
+
+// TestSearchMetricHTTP: POST /search with metric "dtw" returns the DTW
+// ε-ball with exact distances, matching the database's own metric search.
+func TestSearchMetricHTTP(t *testing.T) {
+	s, db, qpts := metricTestServer(t)
+	w := 4
+	rec := doJSON(t, s, "POST", "/search", SearchRequest{
+		Points: qpts, Eps: 0.4, Metric: "dtw", DTWWindow: &w,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search: %d %s", rec.Code, rec.Body)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	q, err := toSequence(SequenceJSON{Label: "query", Points: qpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := db.SearchMetric(q, 0.4, core.MetricDTW{Window: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Matches) != len(want) {
+		t.Fatalf("HTTP returned %d matches, database %d", len(resp.Matches), len(want))
+	}
+	for i, m := range resp.Matches {
+		if m.ID != want[i].SeqID || math.Float64bits(m.Dist) != math.Float64bits(want[i].Dist) {
+			t.Fatalf("match %d = (%d, %v), want (%d, %v)", i, m.ID, m.Dist, want[i].SeqID, want[i].Dist)
+		}
+		if len(m.Intervals) != 0 {
+			t.Fatalf("DTW match %d carries solution intervals", i)
+		}
+	}
+}
+
+// TestKNNMetricHTTP: POST /knn with metric "dtw" ranks by exact DTW.
+func TestKNNMetricHTTP(t *testing.T) {
+	s, db, qpts := metricTestServer(t)
+	rec := doJSON(t, s, "POST", "/knn", KNNRequest{Points: qpts, K: 5, Metric: "dtw"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("knn: %d %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Neighbors []NeighborJSON `json:"neighbors"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	q, err := toSequence(SequenceJSON{Label: "query", Points: qpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.SearchKNNMetric(q, 5, core.MetricDTW{Window: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Neighbors) != len(want) {
+		t.Fatalf("HTTP returned %d neighbors, database %d", len(resp.Neighbors), len(want))
+	}
+	for i, n := range resp.Neighbors {
+		if n.ID != want[i].SeqID || math.Float64bits(n.Dist) != math.Float64bits(want[i].Dist) {
+			t.Fatalf("neighbor %d = (%d, %v), want (%d, %v)", i, n.ID, n.Dist, want[i].SeqID, want[i].Dist)
+		}
+	}
+}
+
+// TestMetricHTTPValidation: unknown metric names and invalid windows are
+// 400s, not 500s or silent fallbacks to D.
+func TestMetricHTTPValidation(t *testing.T) {
+	s, _, qpts := metricTestServer(t)
+	rec := doJSON(t, s, "POST", "/search", SearchRequest{Points: qpts, Eps: 0.2, Metric: "chebyshev"})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown metric: %d, want 400", rec.Code)
+	}
+	bad := -3
+	rec = doJSON(t, s, "POST", "/search", SearchRequest{Points: qpts, Eps: 0.2, Metric: "dtw", DTWWindow: &bad})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("window -3: %d, want 400", rec.Code)
+	}
+	rec = doJSON(t, s, "POST", "/knn", KNNRequest{Points: qpts, K: 3, Metric: "chebyshev"})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("knn unknown metric: %d, want 400", rec.Code)
+	}
+}
+
+// TestDefaultMetricOption: WithDefaultMetric("dtw", w) makes metric-less
+// requests run DTW, while an explicit metric "d" still overrides back to
+// the stock path.
+func TestDefaultMetricOption(t *testing.T) {
+	s, db, qpts := metricTestServer(t, WithDefaultMetric("dtw", 4))
+	rec := doJSON(t, s, "POST", "/search", SearchRequest{Points: qpts, Eps: 0.4})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("default-metric search: %d %s", rec.Code, rec.Body)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	q, err := toSequence(SequenceJSON{Label: "query", Points: qpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := db.SearchMetric(q, 0.4, core.MetricDTW{Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Matches) != len(want) {
+		t.Fatalf("default-metric search returned %d matches, want DTW's %d", len(resp.Matches), len(want))
+	}
+	for i, m := range resp.Matches {
+		if m.ID != want[i].SeqID || math.Float64bits(m.Dist) != math.Float64bits(want[i].Dist) {
+			t.Fatalf("default-metric match %d differs", i)
+		}
+	}
+
+	// Explicit "d" overrides the default back to the stock search.
+	rec = doJSON(t, s, "POST", "/search", SearchRequest{Points: qpts, Eps: 0.4, Metric: "d"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("explicit d: %d %s", rec.Code, rec.Body)
+	}
+	var dresp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &dresp); err != nil {
+		t.Fatal(err)
+	}
+	matches, _, err := db.Search(q, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dresp.Matches) != len(matches) {
+		t.Fatalf("explicit d returned %d matches, want %d", len(dresp.Matches), len(matches))
+	}
+	for _, m := range dresp.Matches {
+		if len(m.Intervals) == 0 {
+			t.Fatal("explicit d match lost its solution intervals")
+		}
+	}
+
+	// The default window also applies to /knn.
+	rec = doJSON(t, s, "POST", "/knn", KNNRequest{Points: qpts, K: 3})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("default-metric knn: %d %s", rec.Code, rec.Body)
+	}
+	var nresp struct {
+		Neighbors []NeighborJSON `json:"neighbors"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &nresp); err != nil {
+		t.Fatal(err)
+	}
+	wantNN, err := db.SearchKNNMetric(q, 3, core.MetricDTW{Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nresp.Neighbors) != len(wantNN) {
+		t.Fatalf("default-metric knn returned %d, want %d", len(nresp.Neighbors), len(wantNN))
+	}
+	for i, n := range nresp.Neighbors {
+		if n.ID != wantNN[i].SeqID || math.Float64bits(n.Dist) != math.Float64bits(wantNN[i].Dist) {
+			t.Fatalf("default-metric neighbor %d differs", i)
+		}
+	}
+}

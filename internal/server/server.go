@@ -21,9 +21,9 @@
 //	GET    /sequences/{id}            stored sequence
 //	DELETE /sequences/{id}            remove
 //	POST   /sequences/{id}/append     {points}
-//	POST   /search                    {points, eps, parallel} -> matches
+//	POST   /search                    {points, eps, parallel, metric, dtwWindow} -> matches
 //	POST   /batch                     {queries:[[...],...], eps} -> per-query matches
-//	POST   /knn                       {points, k} -> neighbors
+//	POST   /knn                       {points, k, metric, dtwWindow} -> neighbors
 //	POST   /explain                   {points, eps} -> per-sequence decisions
 //
 // Points are JSON arrays of coordinate arrays: [[x1,x2,x3], ...].
@@ -98,6 +98,9 @@ type Server struct {
 	rec        *obs.Recorder
 	slowThresh time.Duration
 	pprof      bool
+
+	defMetric string // metric applied when a request omits "metric"
+	defWindow int    // DTW window applied when a request omits "dtwWindow"
 }
 
 // Option configures a Server at construction.
@@ -123,6 +126,20 @@ func WithSlowQueryThreshold(d time.Duration) Option {
 // because profiles expose internals and cost CPU while streaming.
 func WithPprof(enable bool) Option { return func(s *Server) { s.pprof = enable } }
 
+// WithDefaultMetric sets the metric applied to /search and /knn requests
+// that omit the "metric" field ("" keeps D), and the Sakoe–Chiba window
+// applied when "dtwWindow" is omitted. A request that names a metric or
+// a window always overrides the default. The pair is validated lazily at
+// request time through the same core.ParseMetric path as explicit
+// requests, so a bad default fails each affected request with 400 rather
+// than crashing the server.
+func WithDefaultMetric(name string, window int) Option {
+	return func(s *Server) {
+		s.defMetric = name
+		s.defWindow = window
+	}
+}
+
 // WithRecorder wires a flight recorder: every request is tracked
 // in-flight and retained per the recorder's sampling (slowest per latency
 // bucket plus all errors/partials), served at GET /debug/tracez
@@ -132,7 +149,7 @@ func WithRecorder(rec *obs.Recorder) Option { return func(s *Server) { s.rec = r
 
 // New builds a Server around db (single-node or sharded).
 func New(db shard.DB, opts ...Option) *Server {
-	s := &Server{db: db, mux: http.NewServeMux(), slowThresh: DefaultSlowQueryThreshold}
+	s := &Server{db: db, mux: http.NewServeMux(), slowThresh: DefaultSlowQueryThreshold, defWindow: -1}
 	for _, o := range opts {
 		o(s)
 	}
@@ -187,22 +204,62 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // SequenceJSON is the wire form of a sequence.
 type SequenceJSON struct {
-	ID     uint32      `json:"id,omitempty"`
-	Label  string      `json:"label"`
-	Points [][]float64 `json:"points"`
+	ID     uint32      `json:"id,omitempty"` // database id (assigned on add, echoed on get)
+	Label  string      `json:"label"`        // free-form name, also the shard placement key
+	Points [][]float64 `json:"points"`       // one n-dimensional coordinate array per point
 }
 
 // SearchRequest is the body of POST /search and /explain.
 type SearchRequest struct {
-	Points   [][]float64 `json:"points"`
-	Eps      float64     `json:"eps"`
-	Parallel bool        `json:"parallel,omitempty"`
+	Points   [][]float64 `json:"points"`             // the query sequence's points
+	Eps      float64     `json:"eps"`                // similarity threshold ε
+	Parallel bool        `json:"parallel,omitempty"` // use the parallel range search (single-node metric "d" only)
+	// Metric selects the distance the result set is defined by: "" or
+	// "d" for the exact alignment distance D (the default three-phase
+	// search), "dtw" for dynamic time warping served through the
+	// envelope-pruned metric path. With "dtw" the parallel flag is
+	// ignored (a sharded deployment's scatter supplies the parallelism)
+	// and matches carry exact distances instead of solution intervals.
+	Metric string `json:"metric,omitempty"`
+	// DTWWindow is the Sakoe–Chiba band half-width for metric "dtw":
+	// -1 (or omitted) means unconstrained. Ignored for metric "d".
+	DTWWindow *int `json:"dtwWindow,omitempty"`
 }
 
 // KNNRequest is the body of POST /knn.
 type KNNRequest struct {
-	Points [][]float64 `json:"points"`
-	K      int         `json:"k"`
+	Points [][]float64 `json:"points"` // the query sequence's points
+	K      int         `json:"k"`      // how many nearest sequences to return
+	// Metric and DTWWindow mirror SearchRequest: "dtw" ranks neighbors
+	// by exact DTW distance (offset is then always 0 — warping has no
+	// single alignment offset).
+	Metric    string `json:"metric,omitempty"`    // distance the ranking is defined by: "", "d", or "dtw"
+	DTWWindow *int   `json:"dtwWindow,omitempty"` // Sakoe–Chiba half-width for "dtw"; nil/-1 = unconstrained
+}
+
+// reqMetric resolves a request's metric fields against the server
+// defaults: an omitted name falls back to WithDefaultMetric's metric, an
+// omitted (nil) window to its window (-1, unconstrained, when the option
+// was never set).
+func (s *Server) reqMetric(name string, window *int) (core.Metric, error) {
+	if name == "" {
+		name = s.defMetric
+	}
+	w := s.defWindow
+	if window != nil {
+		w = *window
+	}
+	return core.ParseMetric(name, w)
+}
+
+// metricName applies the server's default metric to a request's metric
+// field; the handlers branch to the metric path when the effective name
+// is a non-D metric.
+func (s *Server) metricName(req string) string {
+	if req == "" {
+		return s.defMetric
+	}
+	return req
 }
 
 // BatchSearchRequest is the body of POST /batch: several queries sharing
@@ -211,21 +268,25 @@ type BatchSearchRequest struct {
 	// Queries holds one point array per query, same format as
 	// SearchRequest.Points.
 	Queries [][][]float64 `json:"queries"`
-	Eps     float64       `json:"eps"`
+	Eps     float64       `json:"eps"` // threshold shared by every query in the batch
 }
 
 // BatchSearchResponse is the body returned by POST /batch: one
 // SearchResponse per query, in input order.
 type BatchSearchResponse struct {
-	Results []SearchResponse `json:"results"`
+	Results []SearchResponse `json:"results"` // one response per query, in input order
 }
 
-// MatchJSON is one range-search result.
+// MatchJSON is one range-search result. For the default metric "d",
+// MinDnorm and Intervals carry the paper's filter output; for a metric
+// search ("dtw", or "d" requested explicitly) Dist carries the exact
+// metric distance and Intervals is empty.
 type MatchJSON struct {
-	ID        uint32   `json:"id"`
-	Label     string   `json:"label"`
-	MinDnorm  float64  `json:"minDnorm"`
-	Intervals [][2]int `json:"intervals"`
+	ID        uint32   `json:"id"`             // database id of the matching sequence
+	Label     string   `json:"label"`          // its label
+	MinDnorm  float64  `json:"minDnorm"`       // the filter lower bound (metric "d" default path)
+	Intervals [][2]int `json:"intervals"`      // approximated solution intervals, [start,end) pairs
+	Dist      float64  `json:"dist,omitempty"` // exact metric distance (metric searches only)
 }
 
 // SearchResponse is the body returned by POST /search. The phase
@@ -240,7 +301,7 @@ type MatchJSON struct {
 // the paper's no-false-dismissal guarantee). Both fields are omitted on
 // complete answers from single-node deployments.
 type SearchResponse struct {
-	Matches []MatchJSON `json:"matches"`
+	Matches []MatchJSON `json:"matches"` // sequences within ε, ascending id
 	// Cached is true when the answer was served from the query-result
 	// cache (mdsserve -cache-entries) instead of being computed; the
 	// stats then describe the run that originally produced it. Also
@@ -252,7 +313,8 @@ type SearchResponse struct {
 	// covers, in ascending order. Present whenever the per-shard search
 	// path ran (sharded database), complete or not.
 	ShardsAnswered []int `json:"shardsAnswered,omitempty"`
-	Stats          struct {
+	// Stats carries the search's per-phase work counters and timings.
+	Stats struct {
 		QueryMBRs      int   `json:"queryMBRs"`
 		Candidates     int   `json:"candidates"`
 		TotalSequences int   `json:"totalSequences"`
@@ -265,27 +327,27 @@ type SearchResponse struct {
 
 // NeighborJSON is one k-NN result.
 type NeighborJSON struct {
-	ID     uint32  `json:"id"`
-	Label  string  `json:"label"`
-	Dist   float64 `json:"dist"`
-	Offset int     `json:"offset"`
+	ID     uint32  `json:"id"`     // database id of the neighbor
+	Label  string  `json:"label"`  // its label
+	Dist   float64 `json:"dist"`   // exact distance (D, or normalized DTW for metric "dtw")
+	Offset int     `json:"offset"` // best alignment offset (always 0 under DTW)
 }
 
 // ExplainResponse summarizes POST /explain.
 type ExplainResponse struct {
-	PrunedDmbr  int                  `json:"prunedDmbr"`
-	PrunedDnorm int                  `json:"prunedDnorm"`
-	Matched     int                  `json:"matched"`
-	Sequences   []ExplainedCandidate `json:"sequences"`
+	PrunedDmbr  int                  `json:"prunedDmbr"`  // candidates dismissed by the phase-2 MBR bound
+	PrunedDnorm int                  `json:"prunedDnorm"` // candidates dismissed by the phase-3 Dnorm bound
+	Matched     int                  `json:"matched"`     // sequences that survived to the result set
+	Sequences   []ExplainedCandidate `json:"sequences"`   // per-sequence decisions, ascending id
 }
 
 // ExplainedCandidate is one sequence's pruning outcome.
 type ExplainedCandidate struct {
-	ID       uint32  `json:"id"`
-	Label    string  `json:"label"`
-	MinDmbr  float64 `json:"minDmbr"`
-	MinDnorm float64 `json:"minDnorm"`
-	Phase    string  `json:"phase"`
+	ID       uint32  `json:"id"`       // database id of the candidate
+	Label    string  `json:"label"`    // its label
+	MinDmbr  float64 `json:"minDmbr"`  // its best phase-2 MBR distance
+	MinDnorm float64 `json:"minDnorm"` // its best phase-3 Dnorm value
+	Phase    string  `json:"phase"`    // where it was pruned, or "matched"
 }
 
 // --- handlers -----------------------------------------------------------
@@ -494,6 +556,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	if n := s.metricName(req.Metric); n != "" && n != "d" {
+		s.handleSearchMetric(w, r, req, q)
+		return
+	}
 	var matches []core.Match
 	var stats core.SearchStats
 	var perShard []shard.ShardStats
@@ -535,6 +601,54 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.logSlowQuery(r, "search", took, q, req.Eps, 0, stats, perShard)
 
 	resp := searchResponse(matches, stats, perShard)
+	w.Header().Set("X-Mdseq-Cache", cacheHeader(resp.Cached))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSearchMetric serves POST /search requests that name a non-default
+// metric: the exact-metric range search, with matches carrying exact
+// distances.
+func (s *Server) handleSearchMetric(w http.ResponseWriter, r *http.Request, req SearchRequest, q *core.Sequence) {
+	m, err := s.reqMetric(req.Metric, req.DTWWindow)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	t0 := time.Now()
+	matches, stats, err := s.db.SearchMetricCtx(r.Context(), q, req.Eps, m)
+	took := time.Since(t0)
+	if err != nil {
+		httpError(w, queryErrStatus(err), err)
+		return
+	}
+	if tr := obs.FromContext(r.Context()); tr != nil {
+		tr.SetAttrs(
+			obs.Float("eps", req.Eps),
+			obs.Str("metric", m.Name()),
+			obs.Int("query_points", q.Len()),
+			obs.Int("candidates", stats.CandidatesDmbr),
+			obs.Int("matches", len(matches)),
+			obs.Bool("cached", stats.CacheHit),
+		)
+		if stats.Partial {
+			tr.MarkPartial()
+		}
+	}
+	s.logSlowQuery(r, "search", took, q, req.Eps, 0, stats, nil)
+
+	resp := SearchResponse{Matches: make([]MatchJSON, len(matches))}
+	resp.Cached = stats.CacheHit
+	resp.Partial = stats.Partial
+	for i, m := range matches {
+		resp.Matches[i] = MatchJSON{ID: m.SeqID, Label: m.Seq.Label, Dist: m.Dist}
+	}
+	resp.Stats.QueryMBRs = stats.QueryMBRs
+	resp.Stats.Candidates = stats.CandidatesDmbr
+	resp.Stats.TotalSequences = stats.TotalSequences
+	resp.Stats.Phase1Us = stats.Phase1.Microseconds()
+	resp.Stats.Phase2Us = stats.Phase2.Microseconds()
+	resp.Stats.Phase3Us = stats.Phase3.Microseconds()
+	resp.Stats.CPUUs = stats.CPUTime.Microseconds()
 	w.Header().Set("X-Mdseq-Cache", cacheHeader(resp.Cached))
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -703,7 +817,18 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t0 := time.Now()
-	results, err := s.db.SearchKNNCtx(r.Context(), q, req.K)
+	var results []core.KNNResult
+	if n := s.metricName(req.Metric); n != "" && n != "d" {
+		var m core.Metric
+		m, err = s.reqMetric(req.Metric, req.DTWWindow)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		results, err = s.db.SearchKNNMetricCtx(r.Context(), q, req.K, m)
+	} else {
+		results, err = s.db.SearchKNNCtx(r.Context(), q, req.K)
+	}
 	took := time.Since(t0)
 	if err != nil {
 		httpError(w, queryErrStatus(err), err)

@@ -23,6 +23,13 @@ type Backend interface {
 	// SearchBatchCtx answers several range queries in one pass under ctx,
 	// one result set and stats value per query, in input order.
 	SearchBatchCtx(ctx context.Context, qs []*core.Sequence, eps float64) ([][]core.Match, []core.SearchStats, error)
+	// SearchMetricCtx runs the exact-metric range search under ctx.
+	SearchMetricCtx(ctx context.Context, q *core.Sequence, eps float64, m core.Metric) ([]core.MetricMatch, core.SearchStats, error)
+	// SearchKNNMetricBoundedCtx runs the bounded local metric top-k under
+	// ctx; the bound is an exact metric distance (the gather's running
+	// k-th best), so shard-local pruning uses the metric's own lower
+	// bounds against it.
+	SearchKNNMetricBoundedCtx(ctx context.Context, q *core.Sequence, k int, bound float64, m core.Metric) ([]core.KNNResult, error)
 }
 
 var _ Backend = (*core.Database)(nil)
@@ -142,4 +149,22 @@ func (f *FaultDB) SearchBatchCtx(ctx context.Context, qs []*core.Sequence, eps f
 		return nil, nil, err
 	}
 	return f.inner.SearchBatchCtx(ctx, qs, eps)
+}
+
+// SearchMetricCtx applies the next scripted fault, then forwards to the
+// wrapped backend.
+func (f *FaultDB) SearchMetricCtx(ctx context.Context, q *core.Sequence, eps float64, m core.Metric) ([]core.MetricMatch, core.SearchStats, error) {
+	if err := f.apply(ctx); err != nil {
+		return nil, core.SearchStats{}, err
+	}
+	return f.inner.SearchMetricCtx(ctx, q, eps, m)
+}
+
+// SearchKNNMetricBoundedCtx applies the next scripted fault, then
+// forwards to the wrapped backend.
+func (f *FaultDB) SearchKNNMetricBoundedCtx(ctx context.Context, q *core.Sequence, k int, bound float64, m core.Metric) ([]core.KNNResult, error) {
+	if err := f.apply(ctx); err != nil {
+		return nil, err
+	}
+	return f.inner.SearchKNNMetricBoundedCtx(ctx, q, k, bound, m)
 }

@@ -55,6 +55,21 @@ type DB interface {
 	SearchKNN(*core.Sequence, int) ([]core.KNNResult, error)
 	// SearchKNNCtx is SearchKNN bounded by the context.
 	SearchKNNCtx(context.Context, *core.Sequence, int) ([]core.KNNResult, error)
+	// SearchMetric is the exact-metric range search: sequences whose
+	// metric distance (D, or DTW under a Sakoe–Chiba window) is within
+	// eps, served through the index with the metric's lower bounds so the
+	// result equals an exhaustive scan under the same metric.
+	SearchMetric(*core.Sequence, float64, core.Metric) ([]core.MetricMatch, core.SearchStats, error)
+	// SearchMetricCtx is SearchMetric bounded by the context.
+	SearchMetricCtx(context.Context, *core.Sequence, float64, core.Metric) ([]core.MetricMatch, core.SearchStats, error)
+	// SearchKNNMetric returns the k sequences nearest the query under the
+	// metric's exact distance.
+	SearchKNNMetric(*core.Sequence, int, core.Metric) ([]core.KNNResult, error)
+	// SearchKNNMetricCtx is SearchKNNMetric bounded by the context.
+	SearchKNNMetricCtx(context.Context, *core.Sequence, int, core.Metric) ([]core.KNNResult, error)
+	// SequentialSearchMetric is the exhaustive exact-metric baseline the
+	// indexed metric search must match byte for byte.
+	SequentialSearchMetric(*core.Sequence, float64, core.Metric) ([]core.MetricMatch, error)
 	// SequentialSearch is the exact linear-scan baseline.
 	SequentialSearch(*core.Sequence, float64) ([]core.ScanResult, error)
 	// Explain records every pruning decision a search makes.

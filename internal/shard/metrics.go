@@ -97,6 +97,18 @@ func (m *shardMetrics) recordScatter(merged core.SearchStats, durs []time.Durati
 	m.strag.ObserveDuration(max - min)
 }
 
+// recordDTW folds a scattered DTW-metric query into the mdseq_dtw_*
+// families. Range scatters carry the full merged pruning ladder; the
+// kNN gather only counts the query (like recordKNN's refined/pruned,
+// the bounded per-shard kNN calls return neighbors, not stats, so the
+// ladder is a range-path observable in sharded deployments).
+func (m *shardMetrics) recordDTW(knn bool, merged core.SearchStats) {
+	if m == nil {
+		return
+	}
+	m.core.RecordDTW(knn, merged.CandidatesDmbr, merged.DTWEnvPruned, merged.DTWKeoghPruned, merged.DTWEvals)
+}
+
 // recordBatchScatter folds one batched fan-out into the registry: one
 // scatter (the batch is one fan-out however many queries ride in it),
 // each query's merged stats into the shared mdseq_search_* families, and

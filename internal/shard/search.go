@@ -216,6 +216,9 @@ func mergeStats(dst *core.SearchStats, st core.SearchStats) {
 	dst.MatchesDnorm += st.MatchesDnorm
 	dst.IndexEntriesHit += st.IndexEntriesHit
 	dst.DnormEvals += st.DnormEvals
+	dst.DTWEnvPruned += st.DTWEnvPruned
+	dst.DTWKeoghPruned += st.DTWKeoghPruned
+	dst.DTWEvals += st.DTWEvals
 	dst.CPUTime += st.CPUTime
 	if st.Phase1 > dst.Phase1 {
 		dst.Phase1 = st.Phase1

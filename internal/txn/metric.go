@@ -1,0 +1,217 @@
+package txn
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Metric queries over a snapshot: the indexed base answer merged with a
+// linear exact-distance scan of the delta, using the same evaluation
+// kernel (core.EvalMetric) as the indexed metric path — so the merged
+// result is identical to a fully indexed database holding the
+// snapshot's content, under D and DTW alike.
+
+// SearchMetricCtx runs the exact-metric range search against the
+// snapshot.
+func (s *Snap) SearchMetricCtx(ctx context.Context, q *core.Sequence, eps float64, m core.Metric) ([]core.MetricMatch, core.SearchStats, error) {
+	matches, stats, err := s.db.base.SearchMetricCtx(ctx, q, eps, m)
+	if err != nil {
+		return nil, stats, err
+	}
+	if s.st.deltaLen() == 0 {
+		return matches, stats, nil
+	}
+	delta, err := s.deltaMetricRange(ctx, q, eps, m, &stats)
+	if err != nil {
+		return nil, stats, err
+	}
+	merged := mergeMetricMatches(matches, s.view(), delta)
+	s.fixupStats(&stats, len(merged))
+	return merged, stats, nil
+}
+
+// SearchMetric is SearchMetricCtx without a deadline.
+func (s *Snap) SearchMetric(q *core.Sequence, eps float64, m core.Metric) ([]core.MetricMatch, core.SearchStats, error) {
+	return s.SearchMetricCtx(context.Background(), q, eps, m)
+}
+
+// deltaMetricRange evaluates the exact metric distance over the
+// snapshot's delta sequences. No lower-bound pruning: the delta is
+// bounded by the checkpoint cadence, so exhaustive exact evaluation
+// keeps it trivially identical to the scan baseline.
+func (s *Snap) deltaMetricRange(ctx context.Context, q *core.Sequence, eps float64, m core.Metric, st *core.SearchStats) ([]core.MetricMatch, error) {
+	v := s.view()
+	if len(v.delta) == 0 {
+		return nil, nil
+	}
+	t0 := time.Now()
+	qseg, err := s.qseg(q)
+	if err != nil {
+		return nil, err
+	}
+	_, isDTW := m.(core.MetricDTW)
+	var out []core.MetricMatch
+	for i, d := range v.delta {
+		if i&31 == 0 {
+			if err := searchCanceled(ctx); err != nil {
+				return nil, err
+			}
+		}
+		dist := core.EvalMetric(qseg, d.g, m)
+		st.CandidatesDmbr++
+		if isDTW {
+			st.DTWEvals++
+		}
+		if dist <= eps {
+			out = append(out, core.MetricMatch{SeqID: d.id, Seq: d.g.Seq, Dist: dist})
+		}
+	}
+	dur := time.Since(t0)
+	st.Phase3 += dur
+	st.CPUTime += dur
+	if tr := obs.FromContext(ctx); tr != nil {
+		tr.RecordSpan(obs.SpanFromContext(ctx), "delta-scan", dur,
+			obs.Int64("snapshot_epoch", int64(s.st.epoch)),
+			obs.Int("delta_len", s.st.deltaLen()),
+			obs.Int("matches", len(out)))
+	}
+	return out, nil
+}
+
+// mergeMetricMatches merges two id-ascending metric match lists,
+// dropping base entries the view supersedes.
+func mergeMetricMatches(base []core.MetricMatch, v *view, delta []core.MetricMatch) []core.MetricMatch {
+	out := make([]core.MetricMatch, 0, len(base)+len(delta))
+	i, j := 0, 0
+	for i < len(base) || j < len(delta) {
+		if i < len(base) && v.dropBase(base[i].SeqID) {
+			i++
+			continue
+		}
+		switch {
+		case i >= len(base):
+			out = append(out, delta[j])
+			j++
+		case j >= len(delta) || base[i].SeqID < delta[j].SeqID:
+			out = append(out, base[i])
+			i++
+		default:
+			out = append(out, delta[j])
+			j++
+		}
+	}
+	return out
+}
+
+// SearchKNNMetricBoundedCtx returns the k nearest sequences under the
+// metric with distance ≤ bound, against the snapshot — the same
+// inflated-k' merge as SearchKNNBoundedCtx, with delta candidates
+// scored by the exact metric distance.
+func (s *Snap) SearchKNNMetricBoundedCtx(ctx context.Context, q *core.Sequence, k int, bound float64, m core.Metric) ([]core.KNNResult, error) {
+	if s.st.deltaLen() == 0 {
+		return s.db.base.SearchKNNMetricBoundedCtx(ctx, q, k, bound, m)
+	}
+	v := s.view()
+	kPrime := k + len(s.st.adds) + len(v.overlay) + len(s.st.removed)
+	base, err := s.db.base.SearchKNNMetricBoundedCtx(ctx, q, kPrime, bound, m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.KNNResult, 0, k)
+	for _, r := range base {
+		if v.dropBase(r.SeqID) {
+			continue
+		}
+		out = insertKNNResult(out, r, k)
+	}
+	if len(v.delta) > 0 {
+		qseg, err := s.qseg(q)
+		if err != nil {
+			return nil, err
+		}
+		for i, d := range v.delta {
+			if i&31 == 0 {
+				if err := searchCanceled(ctx); err != nil {
+					return nil, err
+				}
+			}
+			dist := core.EvalMetric(qseg, d.g, m)
+			if dist > bound || math.IsInf(dist, 1) {
+				continue
+			}
+			out = insertKNNResult(out, core.KNNResult{SeqID: d.id, Seq: d.g.Seq, Dist: dist}, k)
+		}
+	}
+	return out, nil
+}
+
+// SequentialSearchMetric is the exhaustive exact-metric baseline over
+// the snapshot's corpus.
+func (s *Snap) SequentialSearchMetric(q *core.Sequence, eps float64, m core.Metric) ([]core.MetricMatch, error) {
+	base, err := s.db.base.SequentialSearchMetric(q, eps, m)
+	if err != nil {
+		return nil, err
+	}
+	if s.st.deltaLen() == 0 {
+		return base, nil
+	}
+	v := s.view()
+	qseg, err := s.qseg(q)
+	if err != nil {
+		return nil, err
+	}
+	var delta []core.MetricMatch
+	for _, d := range v.delta {
+		dist := core.EvalMetric(qseg, d.g, m)
+		if dist <= eps {
+			delta = append(delta, core.MetricMatch{SeqID: d.id, Seq: d.g.Seq, Dist: dist})
+		}
+	}
+	return mergeMetricMatches(base, v, delta), nil
+}
+
+// SearchMetric runs the exact-metric range search on a fresh snapshot.
+func (db *DB) SearchMetric(q *core.Sequence, eps float64, m core.Metric) ([]core.MetricMatch, core.SearchStats, error) {
+	return db.SearchMetricCtx(context.Background(), q, eps, m)
+}
+
+// SearchMetricCtx runs the exact-metric range search on a fresh
+// snapshot, honoring ctx.
+func (db *DB) SearchMetricCtx(ctx context.Context, q *core.Sequence, eps float64, m core.Metric) ([]core.MetricMatch, core.SearchStats, error) {
+	s := db.Acquire()
+	defer s.Release()
+	return s.SearchMetricCtx(ctx, q, eps, m)
+}
+
+// SearchKNNMetric returns the metric k nearest on a fresh snapshot.
+func (db *DB) SearchKNNMetric(q *core.Sequence, k int, m core.Metric) ([]core.KNNResult, error) {
+	return db.SearchKNNMetricCtx(context.Background(), q, k, m)
+}
+
+// SearchKNNMetricCtx returns the metric k nearest on a fresh snapshot,
+// honoring ctx.
+func (db *DB) SearchKNNMetricCtx(ctx context.Context, q *core.Sequence, k int, m core.Metric) ([]core.KNNResult, error) {
+	s := db.Acquire()
+	defer s.Release()
+	return s.SearchKNNMetricBoundedCtx(ctx, q, k, inf(), m)
+}
+
+// SearchKNNMetricBoundedCtx is the bounded metric k-nearest query on a
+// fresh snapshot.
+func (db *DB) SearchKNNMetricBoundedCtx(ctx context.Context, q *core.Sequence, k int, bound float64, m core.Metric) ([]core.KNNResult, error) {
+	s := db.Acquire()
+	defer s.Release()
+	return s.SearchKNNMetricBoundedCtx(ctx, q, k, bound, m)
+}
+
+// SequentialSearchMetric is the exhaustive exact-metric baseline on a
+// fresh snapshot.
+func (db *DB) SequentialSearchMetric(q *core.Sequence, eps float64, m core.Metric) ([]core.MetricMatch, error) {
+	s := db.Acquire()
+	defer s.Release()
+	return s.SequentialSearchMetric(q, eps, m)
+}

@@ -159,6 +159,31 @@ func RefineDTW(q *Sequence, matches []Match, window int) []Match {
 	return core.RefineDTW(q, matches, window)
 }
 
+// Metric is a search distance paired with the index lower bounds that
+// prune for it without false dismissals. MetricD is the paper's exact
+// alignment distance D (the default everywhere a Metric is optional);
+// MetricDTW is dynamic time warping served through envelope and
+// LB_Keogh pruning. Pass a Metric to DB.SearchMetric / DB.SearchKNNMetric
+// (and their sharded counterparts via Store).
+type Metric = core.Metric
+
+// MetricD selects the exact alignment distance D — the same result set
+// as DB.Search, with exact distances on each match.
+type MetricD = core.MetricD
+
+// MetricDTW selects dynamic time warping with a Sakoe–Chiba band of
+// Window points (negative = unconstrained), normalized by the longer
+// sequence length.
+type MetricDTW = core.MetricDTW
+
+// MetricMatch is one result of a metric range search: a sequence within
+// the threshold under the chosen metric, with its exact distance.
+type MetricMatch = core.MetricMatch
+
+// ParseMetric resolves a metric by name ("", "d", or "dtw") and DTW
+// window — the form the CLI and HTTP layers accept.
+func ParseMetric(name string, window int) (Metric, error) { return core.ParseMetric(name, window) }
+
 // Save persists db (live sequences + configuration) into a directory that
 // Load can restore. Numeric ids are not preserved; labels are.
 func Save(db *DB, dir string) error { return store.Save(db, dir) }
