@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/seqio"
 	"repro/internal/shard"
+	"repro/internal/store"
 )
 
 // Query implements mdsquery: load a dataset, index it, run one query.
@@ -19,7 +20,11 @@ func Query(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mdsquery", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		dataPath = fs.String("data", "", "dataset file from mdsgen (required); .csv reads CSV")
+		dataPath = fs.String("data", "", "dataset file from mdsgen (.csv reads CSV); required unless -store is set")
+		storeDir = fs.String("store", "", "store directory to open instead of indexing -data (from Save/SaveSharded/Build)")
+		saveDir  = fs.String("save-store", "", "after indexing -data, persist the corpus to this store directory")
+		format   = fs.String("store-format", "", "format for -save-store: v2 (columnar segments, default) or v1 (row records)")
+		quantQ   = fs.Bool("quantized-mbr", false, "prefilter index hits with a conservative float32 MBR sidecar before the exact float64 distance (identical results)")
 		queryIdx = fs.Int("query", 0, "index of the sequence to draw the query from")
 		from     = fs.Int("from", 0, "query start offset within that sequence")
 		qlen     = fs.Int("len", 0, "query length (0 = to the end)")
@@ -38,18 +43,94 @@ func Query(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *dataPath == "" {
+	if *dataPath == "" && *storeDir == "" {
 		fs.Usage()
-		return fmt.Errorf("missing -data")
+		return fmt.Errorf("missing -data or -store")
+	}
+	if *dataPath != "" && *storeDir != "" {
+		return fmt.Errorf("-data and -store are exclusive")
+	}
+	if *saveDir != "" && *dataPath == "" {
+		return fmt.Errorf("-save-store needs -data (a -store corpus is already persisted)")
+	}
+	sf := store.DefaultFormat
+	switch *format {
+	case "", "v2":
+	case "v1":
+		sf = store.FormatV1
+	default:
+		return fmt.Errorf("-store-format %q: want v1 or v2", *format)
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards %d: shard count must be >= 1", *shards)
 	}
 
-	read := seqio.ReadFile
-	if strings.HasSuffix(*dataPath, ".csv") {
-		read = seqio.ReadCSVFile
+	var db shard.DB
+	var seqs []*core.Sequence
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
 	}
-	seqs, err := read(*dataPath)
-	if err != nil {
-		return err
+	if *storeDir != "" {
+		t0 := time.Now()
+		sdb, err := store.LoadShardedWith(*storeDir, store.LoadOptions{Quantized: *quantQ})
+		if err != nil {
+			return err
+		}
+		db = sdb
+		if reg != nil {
+			db.SetMetrics(reg)
+		}
+		seqs = db.Sequences()
+		fmt.Fprintf(stdout, "opened store %s: %d sequences (%d MBRs, R*-tree height %d, %d shard(s)) in %v\n",
+			*storeDir, db.Len(), db.NumMBRs(), db.IndexHeight(), db.Shards(), time.Since(t0).Round(time.Millisecond))
+	} else {
+		read := seqio.ReadFile
+		if strings.HasSuffix(*dataPath, ".csv") {
+			read = seqio.ReadCSVFile
+		}
+		var err error
+		seqs, err = read(*dataPath)
+		if err != nil {
+			return err
+		}
+		if *shards > 1 {
+			db, err = shard.New(core.Options{Dim: seqs[0].Dim(), QuantizedMBR: *quantQ}, *shards)
+		} else {
+			db, err = core.NewDatabase(core.Options{Dim: seqs[0].Dim(), QuantizedMBR: *quantQ})
+		}
+		if err != nil {
+			return err
+		}
+		if reg != nil {
+			db.SetMetrics(reg)
+		}
+		t0 := time.Now()
+		if _, err := db.AddAll(seqs); err != nil {
+			db.Close()
+			return err
+		}
+		fmt.Fprintf(stdout, "indexed %d sequences (%d MBRs, R*-tree height %d, %d shard(s)) in %v\n",
+			db.Len(), db.NumMBRs(), db.IndexHeight(), db.Shards(), time.Since(t0).Round(time.Millisecond))
+	}
+	defer db.Close()
+
+	if *saveDir != "" {
+		t0 := time.Now()
+		var err error
+		if sdb, ok := db.(*shard.ShardedDB); ok {
+			err = store.SaveShardedFormat(sdb, *saveDir, sf)
+		} else {
+			err = store.SaveFormat(db.(*core.Database), *saveDir, sf)
+		}
+		if err != nil {
+			return fmt.Errorf("-save-store: %w", err)
+		}
+		fmt.Fprintf(stdout, "saved store %s (format v%d) in %v\n", *saveDir, sf, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if len(seqs) == 0 {
+		return fmt.Errorf("empty corpus")
 	}
 	if *queryIdx < 0 || *queryIdx >= len(seqs) {
 		return fmt.Errorf("query index %d outside dataset of %d sequences", *queryIdx, len(seqs))
@@ -63,31 +144,6 @@ func Query(args []string, stdout io.Writer) error {
 		end = *from + *qlen
 	}
 	q := &core.Sequence{Label: "query", Points: src.Points[*from:end]}
-
-	if *shards < 1 {
-		return fmt.Errorf("-shards %d: shard count must be >= 1", *shards)
-	}
-	var db shard.DB
-	if *shards > 1 {
-		db, err = shard.New(core.Options{Dim: seqs[0].Dim()}, *shards)
-	} else {
-		db, err = core.NewDatabase(core.Options{Dim: seqs[0].Dim()})
-	}
-	if err != nil {
-		return err
-	}
-	defer db.Close()
-	var reg *obs.Registry
-	if *metrics {
-		reg = obs.NewRegistry()
-		db.SetMetrics(reg)
-	}
-	t0 := time.Now()
-	if _, err := db.AddAll(seqs); err != nil {
-		return err
-	}
-	fmt.Fprintf(stdout, "indexed %d sequences (%d MBRs, R*-tree height %d, %d shard(s)) in %v\n",
-		db.Len(), db.NumMBRs(), db.IndexHeight(), db.Shards(), time.Since(t0).Round(time.Millisecond))
 	fmt.Fprintf(stdout, "query: %d points from %s[%d:%d], eps=%.3f\n", q.Len(), src.Label, *from, end, *eps)
 
 	mt, err := core.ParseMetric(*metric, *dtwWin)

@@ -241,9 +241,10 @@ func (db *Database) searchBatchLocked(ctx context.Context, uniq []*batchQuery, e
 				}
 			}
 			checked++
-			m, hit, evals := phase3Flat(bq.qseg.MBRs, &sc.p3, db.seqs[id], bq.q.Len(), eps)
+			m, hit, evals, qpruned := phase3FlatQ(bq.qseg.MBRs, &sc.p3, db.seqs[id], bq.q.Len(), eps, db.opts.QuantizedMBR)
 			m.SeqID = id
 			bq.st.DnormEvals += evals
+			bq.st.QuantPruned += qpruned
 			if hit {
 				bq.out = append(bq.out, m)
 			}

@@ -76,6 +76,117 @@ func (db *Database) AddAll(seqs []*Sequence) ([]uint32, error) {
 	return ids, nil
 }
 
+// AddAllSegmented bulk-loads a corpus that is already partitioned — the
+// zero-deserialization path of the v2 segment store, whose files carry
+// the Segmented columnar form directly. The database must be empty; ids
+// are assigned densely in input order, exactly as AddAll would. With
+// leaves nil the R*-tree is STR bulk-loaded from the sequences' MBRs;
+// with leaves set (each inner slice one packed leaf page of refs, as
+// recorded by the store's packed-tree section) the leaf grouping is
+// reused verbatim and only the upper levels are tiled, skipping the
+// leaf-level sorts. Every ref must name a valid (sequence, MBR) pair and
+// the refs must cover every MBR exactly once; violations reject the
+// whole load. The database keeps references to the segments; callers
+// must not mutate them afterwards.
+func (db *Database) AddAllSegmented(segs []*Segmented, leaves [][]rtree.Ref) ([]uint32, error) {
+	if len(segs) == 0 {
+		return nil, nil
+	}
+	total := 0
+	for i, g := range segs {
+		if g == nil || g.Seq == nil {
+			return nil, fmt.Errorf("core: nil segment %d", i)
+		}
+		if g.Seq.Dim() != db.opts.Dim {
+			return nil, fmt.Errorf("core: sequence %d dim %d, database dim %d: %w",
+				i, g.Seq.Dim(), db.opts.Dim, geom.ErrDimensionMismatch)
+		}
+		total += len(g.MBRs)
+	}
+
+	var wrote geom.Rect
+	for _, g := range segs {
+		wrote.ExtendRect(g.Bounds())
+	}
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.pg == nil {
+		return nil, errors.New("core: database closed")
+	}
+	if len(db.seqs) > 0 {
+		return nil, errors.New("core: AddAllSegmented requires an empty database")
+	}
+
+	ids := make([]uint32, len(segs))
+	for i, g := range segs {
+		g.Seq.ID = uint32(i)
+		ids[i] = uint32(i)
+	}
+	if leaves != nil {
+		leafItems, err := leavesToItems(segs, leaves, total)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.tree.BulkLoadLeaves(leafItems); err != nil {
+			return nil, err
+		}
+	} else {
+		items := make([]rtree.Item, 0, total)
+		for i, g := range segs {
+			for j, m := range g.MBRs {
+				items = append(items, rtree.Item{Rect: m.Rect, Ref: rtree.PackRef(uint32(i), uint32(j))})
+			}
+		}
+		if err := db.tree.BulkLoad(items); err != nil {
+			return nil, err
+		}
+	}
+	db.seqs = segs
+	db.live = len(segs)
+	db.notifyWrite(wrote)
+	db.met.RecordBulkAdd(len(segs))
+	db.met.SetShape(db.live, db.tree.Len())
+	return ids, nil
+}
+
+// leavesToItems resolves a packed leaf grouping of refs against the
+// segments, verifying that every ref names a live (sequence, MBR) pair
+// and that the grouping covers every MBR exactly once — a corrupt or
+// foreign tree section must fail the load, never produce a tree that
+// silently misses entries.
+func leavesToItems(segs []*Segmented, leaves [][]rtree.Ref, total int) ([][]rtree.Item, error) {
+	seen := make([]bool, total)
+	// base[i] = number of MBRs before sequence i, for the coverage bitmap.
+	base := make([]int, len(segs)+1)
+	for i, g := range segs {
+		base[i+1] = base[i] + len(g.MBRs)
+	}
+	out := make([][]rtree.Item, len(leaves))
+	covered := 0
+	for li, leaf := range leaves {
+		items := make([]rtree.Item, len(leaf))
+		for k, ref := range leaf {
+			id, j := ref.Unpack()
+			if int(id) >= len(segs) || int(j) >= len(segs[id].MBRs) {
+				return nil, fmt.Errorf("core: packed leaf %d ref (%d,%d) out of range", li, id, j)
+			}
+			ord := base[id] + int(j)
+			if seen[ord] {
+				return nil, fmt.Errorf("core: packed leaf %d ref (%d,%d) duplicated", li, id, j)
+			}
+			seen[ord] = true
+			covered++
+			items[k] = rtree.Item{Rect: segs[id].MBRs[j].Rect, Ref: ref}
+		}
+		out[li] = items
+	}
+	if covered != total {
+		return nil, fmt.Errorf("core: packed leaves cover %d of %d MBRs", covered, total)
+	}
+	return out, nil
+}
+
 // partitionAll validates every sequence and partitions them in parallel
 // (partitioning is CPU-bound and independent), without touching any
 // database state that needs the lock.

@@ -36,6 +36,15 @@ type Options struct {
 	MaxEntries int
 	// Eviction selects the buffer-pool replacement policy.
 	Eviction pager.Eviction
+	// QuantizedMBR turns on the quantized-MBR prefilter in phase 3 of
+	// range searches: each (query MBR, candidate) pair is first screened
+	// against the candidate's float32 outward-rounded bounds (half the
+	// memory traffic of the exact arrays), and the exact float64 Dnorm
+	// machinery runs only for pairs the screen cannot dismiss. Quantized
+	// distances are conservative lower bounds, so results are
+	// bit-identical to the exact pipeline (no false dismissals); only
+	// SearchStats accounting (DnormEvals, QuantPruned) differs.
+	QuantizedMBR bool
 }
 
 // Database stores segmented multidimensional sequences and answers
@@ -99,6 +108,75 @@ func NewDatabase(opts Options) (*Database, error) {
 // (total entry count must match) instead of being rebuilt. Options.Path is
 // required and must point at the previously flushed index.
 func OpenDatabase(opts Options, seqs []*Sequence) (*Database, error) {
+	db, err := openIndexed(opts)
+	if err != nil {
+		return nil, err
+	}
+	opts = db.opts // defaults applied
+	total := 0
+	for i, s := range seqs {
+		if err := s.Validate(); err != nil {
+			db.pg.Close()
+			return nil, fmt.Errorf("core: sequence %d: %w", i, err)
+		}
+		if s.Dim() != opts.Dim {
+			db.pg.Close()
+			return nil, fmt.Errorf("core: sequence %d dim %d, want %d", i, s.Dim(), opts.Dim)
+		}
+		g, err := NewSegmented(s, opts.Partition)
+		if err != nil {
+			db.pg.Close()
+			return nil, err
+		}
+		s.ID = uint32(i)
+		db.seqs = append(db.seqs, g)
+		db.live++
+		total += len(g.MBRs)
+	}
+	if total != db.tree.Len() {
+		db.pg.Close()
+		return nil, fmt.Errorf("core: index holds %d entries but sequences partition into %d (stale index or different partition config?)",
+			db.tree.Len(), total)
+	}
+	return db, nil
+}
+
+// OpenDatabaseSegmented is OpenDatabase for an already-partitioned
+// corpus — the v2 store's restart path, where the segment file supplies
+// Segmenteds by aliasing and the index pages already exist on disk, so
+// neither partitioning nor index rebuild runs. The same staleness check
+// applies: the index must hold exactly the corpus's MBR count.
+func OpenDatabaseSegmented(opts Options, segs []*Segmented) (*Database, error) {
+	db, err := openIndexed(opts)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for i, g := range segs {
+		if g == nil || g.Seq == nil {
+			db.pg.Close()
+			return nil, fmt.Errorf("core: nil segment %d", i)
+		}
+		if g.Seq.Dim() != db.opts.Dim {
+			db.pg.Close()
+			return nil, fmt.Errorf("core: sequence %d dim %d, want %d", i, g.Seq.Dim(), db.opts.Dim)
+		}
+		g.Seq.ID = uint32(i)
+		db.seqs = append(db.seqs, g)
+		db.live++
+		total += len(g.MBRs)
+	}
+	if total != db.tree.Len() {
+		db.pg.Close()
+		return nil, fmt.Errorf("core: index holds %d entries but corpus has %d MBRs (stale index?)",
+			db.tree.Len(), total)
+	}
+	return db, nil
+}
+
+// openIndexed opens the pager and existing R*-tree for a reattach,
+// leaving the sequence directory empty for the caller to fill.
+func openIndexed(opts Options) (*Database, error) {
 	if opts.Dim < 1 {
 		return nil, fmt.Errorf("core: invalid dimension %d", opts.Dim)
 	}
@@ -130,33 +208,7 @@ func OpenDatabase(opts Options, seqs []*Sequence) (*Database, error) {
 		pg.Close()
 		return nil, fmt.Errorf("core: index dim %d, options dim %d", tree.Dim(), opts.Dim)
 	}
-	db := &Database{opts: opts, pg: pg, tree: tree}
-	total := 0
-	for i, s := range seqs {
-		if err := s.Validate(); err != nil {
-			pg.Close()
-			return nil, fmt.Errorf("core: sequence %d: %w", i, err)
-		}
-		if s.Dim() != opts.Dim {
-			pg.Close()
-			return nil, fmt.Errorf("core: sequence %d dim %d, want %d", i, s.Dim(), opts.Dim)
-		}
-		g, err := NewSegmented(s, opts.Partition)
-		if err != nil {
-			pg.Close()
-			return nil, err
-		}
-		s.ID = uint32(i)
-		db.seqs = append(db.seqs, g)
-		db.live++
-		total += len(g.MBRs)
-	}
-	if total != tree.Len() {
-		pg.Close()
-		return nil, fmt.Errorf("core: index holds %d entries but sequences partition into %d (stale index or different partition config?)",
-			tree.Len(), total)
-	}
-	return db, nil
+	return &Database{opts: opts, pg: pg, tree: tree}, nil
 }
 
 // Flush persists all dirty index pages and metadata to the backing file
@@ -344,6 +396,23 @@ func (db *Database) Sequences() []*Sequence {
 	return out
 }
 
+// LiveSegments returns the live (non-removed) segments in id order — the
+// already-partitioned columnar form the v2 segment store serializes
+// directly, skipping the re-partitioning a Sequences round trip would
+// force on reload. Callers must treat the segments as read-only: they
+// are the database's own storage, not copies.
+func (db *Database) LiveSegments() []*Segmented {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]*Segmented, 0, db.live)
+	for _, g := range db.seqs {
+		if g != nil {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
 // IndexHeight returns the height of the R*-tree over all partition MBRs.
 func (db *Database) IndexHeight() int {
 	db.mu.RLock()
@@ -437,6 +506,11 @@ type SearchStats struct {
 	// DTWEvals counts exact DTW dynamic programs run (including early
 	// abandoned ones).
 	DTWEvals int
+	// QuantPruned counts (query MBR, candidate) pairs the quantized-MBR
+	// prefilter dismissed in phase 3 before any exact float64 bound was
+	// read (Options.QuantizedMBR). Pruned pairs contribute no DnormEvals.
+	// Zero when quantization is off.
+	QuantPruned int
 }
 
 // Total returns the end-to-end wall-clock search duration. For merged
@@ -563,15 +637,17 @@ func (db *Database) rangePhases(ctx context.Context, q *Sequence, eps float64, s
 	// into the solution interval.
 	t2 := time.Now()
 	var out []Match
+	quant := db.opts.QuantizedMBR
 	for ci, id := range ids {
 		if ci%cancelCheckEvery == 0 {
 			if err := searchCanceled(ctx); err != nil {
 				return nil, err
 			}
 		}
-		m, hit, evals := phase3Flat(sc.qmbrs, &sc.p3, db.seqs[id], q.Len(), eps)
+		m, hit, evals, qpruned := phase3FlatQ(sc.qmbrs, &sc.p3, db.seqs[id], q.Len(), eps, quant)
 		m.SeqID = id
 		st.DnormEvals += evals
+		st.QuantPruned += qpruned
 		if hit {
 			out = append(out, m)
 		}

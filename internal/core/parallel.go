@@ -111,9 +111,10 @@ func (db *Database) SearchParallelCtx(ctx context.Context, q *Sequence, eps floa
 	t2 := time.Now()
 
 	type slot struct {
-		m     Match
-		hit   bool
-		evals int
+		m       Match
+		hit     bool
+		evals   int
+		qpruned int
 	}
 	slots := make([]slot, len(ids))
 	// busyNS accumulates each worker's phase-3 compute so CPUTime can
@@ -144,9 +145,9 @@ func (db *Database) SearchParallelCtx(ctx context.Context, q *Sequence, eps floa
 				n++
 				jt := time.Now()
 				id := ids[i]
-				m, hit, evals := phase3Flat(sc.qmbrs, &wsc.p3, db.seqs[id], q.Len(), eps)
+				m, hit, evals, qpruned := phase3FlatQ(sc.qmbrs, &wsc.p3, db.seqs[id], q.Len(), eps, db.opts.QuantizedMBR)
 				m.SeqID = id
-				slots[i] = slot{m: m, hit: hit, evals: evals}
+				slots[i] = slot{m: m, hit: hit, evals: evals, qpruned: qpruned}
 				busy += time.Since(jt)
 			}
 		}()
@@ -168,6 +169,7 @@ feed:
 	var out []Match
 	for _, s := range slots {
 		st.DnormEvals += s.evals
+		st.QuantPruned += s.qpruned
 		if s.hit {
 			out = append(out, s.m)
 		}

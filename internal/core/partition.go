@@ -131,6 +131,14 @@ type Segmented struct {
 	// storage and cannot diverge. MinDistSqBatch scans them sequentially
 	// in the Dnorm inner loop.
 	Lo, Hi []float64
+
+	// QLo and QHi are the quantized sidecar of Lo/Hi: float32 copies with
+	// lows rounded toward −∞ and highs toward +∞, so every quantized MBR
+	// encloses its exact original and distances computed from them are
+	// conservative lower bounds (see geom.QuantizeDown/QuantizeUp). The
+	// phase-3 prefilter scans these — half the memory traffic — before
+	// the exact float64 kernel confirms survivors.
+	QLo, QHi []float32
 }
 
 // NewSegmented partitions s under cfg and builds the columnar view.
@@ -169,6 +177,87 @@ func (g *Segmented) syncSoA() {
 		}
 	}
 	g.Flat, g.Lo, g.Hi = flat, lo, hi
+	g.syncQuant()
+}
+
+// syncQuant (re)builds the quantized float32 sidecar from Lo/Hi with
+// outward rounding. Called by syncSoA and by the zero-copy store loader,
+// which aliases Lo/Hi into a mapped file and derives the sidecar rather
+// than storing it.
+func (g *Segmented) syncQuant() {
+	n := len(g.Lo)
+	if cap(g.QLo) < n {
+		g.QLo = make([]float32, n)
+		g.QHi = make([]float32, n)
+	}
+	g.QLo, g.QHi = g.QLo[:n], g.QHi[:n]
+	geom.QuantizeDown(g.QLo, g.Lo)
+	geom.QuantizeUp(g.QHi, g.Hi)
+}
+
+// NewSegmentedColumnar assembles a Segmented directly from its columnar
+// parts — the zero-copy constructor the v2 store loader uses. flat holds
+// the points (point i at flat[i*d:(i+1)*d]), lo/hi the MBR bounds (MBR j
+// at [j*d:(j+1)*d]), and ranges the half-open point ranges of the MBRs,
+// which must tile [0, len(s.Points)) contiguously. The slices are aliased,
+// not copied (s.Points should itself alias flat), each MBRInfo.Rect is
+// re-aliased into lo/hi, and the quantized sidecar is derived. No
+// partitioning runs: the caller asserts ranges came from Partition under
+// the database's config (the store format records and checksums them).
+func NewSegmentedColumnar(s *Sequence, ranges []MBRInfo, flat, lo, hi []float64) (*Segmented, error) {
+	g, err := newColumnar(s, ranges, flat, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	g.syncQuant()
+	return g, nil
+}
+
+// NewSegmentedColumnarQ is NewSegmentedColumnar with a prebuilt
+// quantized sidecar: qlo/qhi are aliased instead of being re-derived
+// from lo/hi. The caller asserts they were produced by
+// geom.QuantizeDown/QuantizeUp on exactly these bounds — the v2 store
+// persists and checksums the sidecar next to the bounds themselves, so
+// reloading trusts it on the same footing as lo/hi.
+func NewSegmentedColumnarQ(s *Sequence, ranges []MBRInfo, flat, lo, hi []float64, qlo, qhi []float32) (*Segmented, error) {
+	if len(qlo) != len(lo) || len(qhi) != len(hi) {
+		return nil, fmt.Errorf("core: quantized sidecar sizes qlo=%d qhi=%d, want %d", len(qlo), len(qhi), len(lo))
+	}
+	g, err := newColumnar(s, ranges, flat, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	g.QLo, g.QHi = qlo, qhi
+	return g, nil
+}
+
+// newColumnar validates and assembles the shared columnar parts; the
+// exported constructors differ only in where the quantized sidecar
+// comes from.
+func newColumnar(s *Sequence, ranges []MBRInfo, flat, lo, hi []float64) (*Segmented, error) {
+	d := s.Dim()
+	n := s.Len()
+	r := len(ranges)
+	if len(flat) != n*d || len(lo) != r*d || len(hi) != r*d {
+		return nil, fmt.Errorf("core: columnar sizes flat=%d lo=%d hi=%d for n=%d r=%d d=%d",
+			len(flat), len(lo), len(hi), n, r, d)
+	}
+	want := 0
+	for j := range ranges {
+		if ranges[j].Start != want || ranges[j].End <= ranges[j].Start || ranges[j].End > n {
+			return nil, fmt.Errorf("core: MBR %d range [%d,%d) does not tile %d points",
+				j, ranges[j].Start, ranges[j].End, n)
+		}
+		want = ranges[j].End
+		ranges[j].Rect = geom.Rect{
+			L: lo[j*d : (j+1)*d : (j+1)*d],
+			H: hi[j*d : (j+1)*d : (j+1)*d],
+		}
+	}
+	if want != n {
+		return nil, fmt.Errorf("core: MBR ranges cover %d of %d points", want, n)
+	}
+	return &Segmented{Seq: s, MBRs: ranges, Flat: flat, Lo: lo, Hi: hi}, nil
 }
 
 // Bounds returns the union of the partition MBRs — the sequence's

@@ -166,11 +166,35 @@ func (p3 *phase3Scratch) ensure(r int) {
 // squared space, with one sqrt per target when converting to the weighted
 // means Definition 5 needs. Emission order, arithmetic, and results are
 // identical to phase3One (see the equivalence tests).
+//
+// It is implemented on phase3FlatQ with the quantized prefilter off.
 func phase3Flat(qmbrs []MBRInfo, p3 *phase3Scratch, g *Segmented, qLen int, eps float64) (m Match, hit bool, evals int) {
+	m, hit, evals, _ = phase3FlatQ(qmbrs, p3, g, qLen, eps, false)
+	return m, hit, evals
+}
+
+// phase3FlatQ is phase3Flat with an optional quantized-MBR prefilter.
+// With quant set, each (query MBR, candidate) pair is screened against
+// the candidate's float32 outward-rounded bounds first: every Dnorm
+// window distance is a convex combination of per-target Dmbr values, so
+// it is at least the minimum Dmbr, and the quantized minimum lower-bounds
+// that (geom.MinDistSqWithinQ). When no quantized target is within eps,
+// no window of this pair can qualify and the pair's exact Dmbr batch,
+// sqrt loop, and window sweep are all skipped. A skipped pair cannot
+// change the emitted Match either: its window minimum exceeds eps, while
+// an emitted match's MinDnorm is at most eps, so the overall minimum is
+// never attained in a skipped pair. Results are therefore bit-identical
+// with quant on or off; only evals/qpruned accounting differs.
+func phase3FlatQ(qmbrs []MBRInfo, p3 *phase3Scratch, g *Segmented, qLen int, eps float64, quant bool) (m Match, hit bool, evals, qpruned int) {
 	m = Match{Seq: g.Seq, MinDnorm: math.Inf(1)}
 	r := len(g.MBRs)
+	epsSq := eps * eps
 	for qi := range qmbrs {
 		qm := &qmbrs[qi]
+		if quant && !geom.MinDistSqWithinQ(qm.Rect.L, qm.Rect.H, g.QLo, g.QHi, epsSq) {
+			qpruned++
+			continue
+		}
 		p3.ensure(r)
 		geom.MinDistSqBatch(qm.Rect.L, qm.Rect.H, g.Lo, g.Hi, p3.sq)
 		c := &p3.calc
@@ -205,7 +229,7 @@ func phase3Flat(qmbrs []MBRInfo, p3 *phase3Scratch, g *Segmented, qLen int, eps 
 			m.MinDnorm = minDist
 		}
 	}
-	return m, hit, evals
+	return m, hit, evals, qpruned
 }
 
 // minDnormFlat is the kNN lower-bound pass for one sequence: the minimum

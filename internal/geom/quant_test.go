@@ -1,0 +1,120 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQuantizeRoundsOutward(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	src := make([]float64, 4096)
+	for i := range src {
+		// Mix magnitudes so float32 rounding actually loses bits.
+		src[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(7)-3))
+	}
+	// Include values that are exactly representable in float32.
+	src[0], src[1], src[2] = 0, 1.5, -0.25
+	lo := make([]float32, len(src))
+	hi := make([]float32, len(src))
+	QuantizeDown(lo, src)
+	QuantizeUp(hi, src)
+	for i, v := range src {
+		if float64(lo[i]) > v {
+			t.Fatalf("QuantizeDown(%v) = %v, above the input", v, lo[i])
+		}
+		if float64(hi[i]) < v {
+			t.Fatalf("QuantizeUp(%v) = %v, below the input", v, hi[i])
+		}
+		// Outward rounding must be tight: one float32 ulp at most.
+		if up := math.Nextafter32(lo[i], float32(math.Inf(1))); float64(up) <= v && float64(lo[i]) != v {
+			t.Fatalf("QuantizeDown(%v) = %v not the largest float32 below", v, lo[i])
+		}
+		if dn := math.Nextafter32(hi[i], float32(math.Inf(-1))); float64(dn) >= v && float64(hi[i]) != v {
+			t.Fatalf("QuantizeUp(%v) = %v not the smallest float32 above", v, hi[i])
+		}
+	}
+}
+
+// quantizedStore builds exact and quantized columnar bound stores for n
+// random d-dimensional boxes.
+func quantizedStore(rng *rand.Rand, n, d int) (lo, hi []float64, qlo, qhi []float32) {
+	lo = make([]float64, n*d)
+	hi = make([]float64, n*d)
+	for i := range lo {
+		a, b := rng.Float64(), rng.Float64()
+		if a > b {
+			a, b = b, a
+		}
+		lo[i], hi[i] = a, b
+	}
+	qlo = make([]float32, n*d)
+	qhi = make([]float32, n*d)
+	QuantizeDown(qlo, lo)
+	QuantizeUp(qhi, hi)
+	return
+}
+
+func TestMinDistSqBatchQIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, d := range []int{2, 3, 4, 8, 16} {
+		const n = 257
+		lo, hi, qlo, qhi := quantizedStore(rng, n, d)
+		qL := make([]float64, d)
+		qH := make([]float64, d)
+		for k := range qL {
+			a, b := rng.Float64(), rng.Float64()
+			if a > b {
+				a, b = b, a
+			}
+			qL[k], qH[k] = a, b
+		}
+		exact := make([]float64, n)
+		quant := make([]float64, n)
+		MinDistSqBatch(qL, qH, lo, hi, exact)
+		MinDistSqBatchQ(qL, qH, qlo, qhi, quant)
+		for i := range exact {
+			if quant[i] > exact[i] {
+				t.Fatalf("d=%d box %d: quantized %v exceeds exact %v", d, i, quant[i], exact[i])
+			}
+			// The bound should be tight: within the slack one float32 ulp
+			// per axis can introduce.
+			if exact[i]-quant[i] > 1e-5 {
+				t.Errorf("d=%d box %d: quantized bound %v too loose vs exact %v", d, i, quant[i], exact[i])
+			}
+		}
+	}
+}
+
+func TestMinDistSqWithinQNeverFalseDismisses(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, d := range []int{2, 3, 8} {
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + rng.Intn(12)
+			lo, hi, qlo, qhi := quantizedStore(rng, n, d)
+			qL := make([]float64, d)
+			qH := make([]float64, d)
+			for k := range qL {
+				a, b := rng.Float64(), rng.Float64()
+				if a > b {
+					a, b = b, a
+				}
+				qL[k], qH[k] = a, b
+			}
+			exact := make([]float64, n)
+			MinDistSqBatch(qL, qH, lo, hi, exact)
+			limit := rng.Float64() * 0.2
+			anyExact := false
+			for _, e := range exact {
+				if e <= limit {
+					anyExact = true
+				}
+			}
+			within := MinDistSqWithinQ(qL, qH, qlo, qhi, limit)
+			if anyExact && !within {
+				t.Fatalf("d=%d trial %d: prefilter dismissed a store with an exact hit (limit %v, exact %v)",
+					d, trial, limit, exact)
+			}
+		}
+	}
+}

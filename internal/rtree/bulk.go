@@ -34,19 +34,64 @@ func (t *Tree) bulkLoadLocked(items []Item) error {
 		}
 		entries[i] = entry{rect: it.Rect.Clone(), ref: it.Ref}
 	}
+	return t.packLocked(strTile(entries, 0, t.dim, t.maxEntries, t.minEntries), len(items))
+}
 
+// BulkLoadLeaves replaces an empty tree's contents with pre-grouped leaf
+// pages: each inner slice becomes one leaf node verbatim, and only the
+// upper levels are packed by STR tiling over the leaf MBRs. It is the
+// load half of the v2 segment store's packed-tree section — the leaf
+// grouping was computed once by STRLeaves at build time, so reloading
+// skips the leaf-level sorts (the bulk of BulkLoad's O(n log n)). Every
+// leaf must hold between 1 and MaxEntries items; the caller owns
+// coverage/uniqueness validation of the refs. A grouping produced by
+// STRLeaves with this tree's fanout yields exactly the tree BulkLoad
+// would build.
+func (t *Tree) BulkLoadLeaves(leaves [][]Item) error {
+	if t.size != 0 {
+		return errors.New("rtree: BulkLoadLeaves requires an empty tree")
+	}
+	total := 0
+	for _, leaf := range leaves {
+		total += len(leaf)
+	}
+	if total == 0 {
+		return nil
+	}
+	return t.inTxn(func() error {
+		groups := make([][]entry, len(leaves))
+		for li, leaf := range leaves {
+			if len(leaf) == 0 || len(leaf) > t.maxEntries {
+				return fmt.Errorf("rtree: packed leaf %d holds %d entries, want 1..%d", li, len(leaf), t.maxEntries)
+			}
+			g := make([]entry, len(leaf))
+			for i, it := range leaf {
+				if it.Rect.IsEmpty() || it.Rect.Dim() != t.dim {
+					return fmt.Errorf("rtree: packed leaf %d item %d rect dim %d, want %d", li, i, it.Rect.Dim(), t.dim)
+				}
+				g[i] = entry{rect: it.Rect.Clone(), ref: it.Ref}
+			}
+			groups[li] = g
+		}
+		return t.packLocked(groups, total)
+	})
+}
+
+// packLocked writes the given leaf-level groups as leaf nodes and packs
+// every upper level by STR tiling over the children's MBRs, installing
+// the result as the tree's contents. Shared by bulkLoadLocked (which
+// tiles the leaf level itself) and BulkLoadLeaves (which is handed it).
+func (t *Tree) packLocked(groups [][]entry, total int) error {
 	// Free the placeholder root; the pack builds fresh pages.
 	if err := t.freeNodePage(t.root); err != nil {
 		return err
 	}
 
-	level := entries
 	leaf := true
 	height := uint32(0)
 	var rootPage = t.root
 	for {
 		height++
-		groups := strTile(level, 0, t.dim, t.maxEntries, t.minEntries)
 		parents := make([]entry, 0, len(groups))
 		for _, g := range groups {
 			page, err := t.allocNodePage()
@@ -63,15 +108,39 @@ func (t *Tree) bulkLoadLocked(items []Item) error {
 			rootPage = parents[0].child
 			break
 		}
-		level = parents
+		groups = strTile(parents, 0, t.dim, t.maxEntries, t.minEntries)
 		leaf = false
 	}
 
 	t.root = rootPage
 	t.height = height
-	t.size = uint64(len(items))
+	t.size = uint64(total)
 	t.dirtyMeta = true
 	return t.flushMeta()
+}
+
+// STRLeaves returns the leaf-level grouping Sort-Tile-Recursive packing
+// produces for items under the given fanout — exactly the leaves
+// BulkLoad would build on a tree with maxEntries/minEntries capacity.
+// The v2 segment store computes it once at build time and serializes the
+// grouping, so a later BulkLoadLeaves can pack the same tree without
+// re-sorting. The input slice is not modified; the returned groups hold
+// copies of the items (rects still aliased, not cloned).
+func STRLeaves(items []Item, dim, maxEntries, minEntries int) [][]Item {
+	entries := make([]entry, len(items))
+	for i, it := range items {
+		entries[i] = entry{rect: it.Rect, ref: it.Ref}
+	}
+	groups := strTile(entries, 0, dim, maxEntries, minEntries)
+	out := make([][]Item, len(groups))
+	for gi, g := range groups {
+		leaf := make([]Item, len(g))
+		for i, e := range g {
+			leaf[i] = Item{Rect: e.rect, Ref: e.ref}
+		}
+		out[gi] = leaf
+	}
+	return out
 }
 
 // strTile recursively tiles entries into groups of at most M (and, except

@@ -197,3 +197,63 @@ func TestChunkBalanced(t *testing.T) {
 		t.Errorf("chunk exceeds max: %v", sizes)
 	}
 }
+
+func TestBulkLoadLeavesMatchesBulkLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	for _, n := range []int{1, 7, 8, 9, 63, 64, 500} {
+		items := bulkItems(rng, n, 3)
+
+		ref := newMemTree(t, 3, 8)
+		if err := ref.BulkLoad(items); err != nil {
+			t.Fatal(err)
+		}
+		grouped := STRLeaves(items, 3, 8, 8/2)
+		tr := newMemTree(t, 3, 8)
+		if err := tr.BulkLoadLeaves(grouped); err != nil {
+			t.Fatalf("n=%d: BulkLoadLeaves: %v", n, err)
+		}
+		if tr.Len() != ref.Len() || tr.Height() != ref.Height() {
+			t.Fatalf("n=%d: shape %d/%d, want %d/%d", n, tr.Len(), tr.Height(), ref.Len(), ref.Height())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: invariants: %v", n, err)
+		}
+		byRef := make(map[Ref]geom.Rect, len(items))
+		for _, it := range items {
+			byRef[it.Ref] = it.Rect
+		}
+		for trial := 0; trial < 20; trial++ {
+			q := randRect(rng, 3, 0.3)
+			want := collectIntersect(t, ref, q)
+			got := collectIntersect(t, tr, q)
+			if !refSlicesEqual(got, want) {
+				t.Fatalf("n=%d trial %d: got %d refs, want %d", n, trial, len(got), len(want))
+			}
+			brute := bruteIntersect(byRef, q)
+			if !refSlicesEqual(got, brute) {
+				t.Fatalf("n=%d trial %d: diverged from brute force", n, trial)
+			}
+		}
+	}
+}
+
+func TestBulkLoadLeavesRejectsBadPages(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	items := bulkItems(rng, 20, 3)
+
+	tr := newMemTree(t, 3, 8)
+	if err := tr.BulkLoadLeaves([][]Item{items[:8], nil, items[8:16]}); err == nil {
+		t.Error("empty leaf page accepted")
+	}
+	tr2 := newMemTree(t, 3, 8)
+	if err := tr2.BulkLoadLeaves([][]Item{items[:9]}); err == nil {
+		t.Error("over-capacity leaf page accepted")
+	}
+	tr3 := newMemTree(t, 3, 8)
+	if err := tr3.Insert(items[0].Rect, items[0].Ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr3.BulkLoadLeaves([][]Item{items[1:8]}); err == nil {
+		t.Error("bulk leaf load into a non-empty tree accepted")
+	}
+}

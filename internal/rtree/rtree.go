@@ -161,26 +161,46 @@ func Open(opts Options) (*Tree, error) {
 // computeCapacity derives entry size and node fanout from the page size.
 func (t *Tree) computeCapacity(override int) error {
 	t.entrySize = t.dim*16 + 8 // L,H float64s + 8-byte ref/child
-	capacity := (t.pg.PageSize() - nodeHeaderSize) / t.entrySize
+	maxE, minE, err := CapacityFor(t.pg.PageSize(), t.dim, override)
+	if err != nil {
+		return err
+	}
+	t.maxEntries = maxE
+	t.minEntries = minE
+	return nil
+}
+
+// CapacityFor derives the node fanout a tree over the given page size
+// (0 = pager.DefaultPageSize) and dimensionality uses, applying the same
+// rules as tree construction: capacity from entry size, an optional
+// override that must fit the page, and the R*-tree minimum-fill clamp.
+// It exists so the segment store can compute the STR leaf grouping of a
+// future tree without opening one; the grouping is valid for any tree
+// whose MaxEntries matches the returned maximum.
+func CapacityFor(pageSize, dim, override int) (maxEntries, minEntries int, err error) {
+	if pageSize == 0 {
+		pageSize = pager.DefaultPageSize
+	}
+	entrySize := dim*16 + 8 // L,H float64s + 8-byte ref/child
+	capacity := (pageSize - nodeHeaderSize) / entrySize
 	if override > 0 {
 		if override > capacity {
-			return fmt.Errorf("rtree: MaxEntries %d exceeds page capacity %d", override, capacity)
+			return 0, 0, fmt.Errorf("rtree: MaxEntries %d exceeds page capacity %d", override, capacity)
 		}
 		capacity = override
 	}
 	if capacity < 4 {
-		return fmt.Errorf("rtree: page size %d too small for dim %d (capacity %d, need >= 4)",
-			t.pg.PageSize(), t.dim, capacity)
+		return 0, 0, fmt.Errorf("rtree: page size %d too small for dim %d (capacity %d, need >= 4)",
+			pageSize, dim, capacity)
 	}
-	t.maxEntries = capacity
-	t.minEntries = int(minFillFraction * float64(capacity))
-	if t.minEntries < 1 {
-		t.minEntries = 1
+	minEntries = int(minFillFraction * float64(capacity))
+	if minEntries < 1 {
+		minEntries = 1
 	}
-	if t.minEntries > capacity/2 {
-		t.minEntries = capacity / 2
+	if minEntries > capacity/2 {
+		minEntries = capacity / 2
 	}
-	return nil
+	return capacity, minEntries, nil
 }
 
 // Dim returns the dimensionality of the indexed rectangles.
@@ -194,6 +214,9 @@ func (t *Tree) Height() int { return int(t.height) }
 
 // MaxEntries returns the node capacity (fanout).
 func (t *Tree) MaxEntries() int { return t.maxEntries }
+
+// MinEntries returns the node minimum-fill in force (the R*-tree m).
+func (t *Tree) MinEntries() int { return t.minEntries }
 
 // Flush persists metadata and all dirty pages.
 func (t *Tree) Flush() error {

@@ -770,6 +770,7 @@ func (s *Server) logSlowQuery(r *http.Request, route string, took time.Duration,
 			slog.Int("matchesDnorm", st.MatchesDnorm),
 			slog.Int("indexEntriesHit", st.IndexEntriesHit),
 			slog.Int("dnormEvals", st.DnormEvals),
+			slog.Int("quantPruned", st.QuantPruned),
 			slog.Duration("phase1", st.Phase1),
 			slog.Duration("phase2", st.Phase2),
 			slog.Duration("phase3", st.Phase3),
@@ -798,6 +799,7 @@ func (s *Server) logSlowQuery(r *http.Request, route string, took time.Duration,
 			slog.Int("matchesDnorm", ps.Stats.MatchesDnorm),
 			slog.Int("indexEntriesHit", ps.Stats.IndexEntriesHit),
 			slog.Int("dnormEvals", ps.Stats.DnormEvals),
+			slog.Int("quantPruned", ps.Stats.QuantPruned),
 			slog.Duration("phase1", ps.Stats.Phase1),
 			slog.Duration("phase2", ps.Stats.Phase2),
 			slog.Duration("phase3", ps.Stats.Phase3),

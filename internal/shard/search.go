@@ -219,6 +219,7 @@ func mergeStats(dst *core.SearchStats, st core.SearchStats) {
 	dst.DTWEnvPruned += st.DTWEnvPruned
 	dst.DTWKeoghPruned += st.DTWKeoghPruned
 	dst.DTWEvals += st.DTWEvals
+	dst.QuantPruned += st.QuantPruned
 	dst.CPUTime += st.CPUTime
 	if st.Phase1 > dst.Phase1 {
 		dst.Phase1 = st.Phase1

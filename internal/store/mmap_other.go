@@ -1,0 +1,14 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package store
+
+import "os"
+
+// mapFile reports mmap as unavailable; the reader falls back to one
+// aligned whole-file read, which preserves every aliasing property of
+// the mapped path (same buffer, same offsets) at the cost of touching
+// all bytes up front.
+func mapFile(f *os.File, size int64) ([]byte, bool) { return nil, false }
+
+// unmapFile is a no-op where mapFile never maps.
+func unmapFile(b []byte) {}

@@ -1,0 +1,31 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps f read-only. A successful mapping is page-aligned,
+// so the 8-byte alignment float64View needs always holds. The mapping is
+// intentionally never unmapped on the success path: the loaded database
+// aliases slices straight into it for its whole lifetime, and the
+// process exit reclaims it. An atomic re-save renames a new file into
+// place, so the mapped (old) inode stays valid regardless.
+func mapFile(f *os.File, size int64) ([]byte, bool) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, false
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// unmapFile releases a mapping obtained from mapFile; the reader calls
+// it only on validation failure, before any slice has escaped.
+func unmapFile(b []byte) {
+	syscall.Munmap(b)
+}

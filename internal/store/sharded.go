@@ -8,22 +8,26 @@ import (
 	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/rtree"
 	"repro/internal/shard"
 )
 
 // Sharded store layout: a shard-count record plus one single-node store
-// directory per shard (empty shards keep only their meta file):
+// directory per shard, each in either format (empty shards keep only
+// their meta file):
 //
 //	dir/
 //	  shards.bin     "MDSSHRD1" + u16 shard count
-//	  shard000/      meta.bin [+ sequences.mds]
+//	  shard000/      meta.bin [+ sequences.mds | segments.sg2]
 //	  shard001/
 //	  ...
 //	  index.db.shard<i>   per-shard index pages (fileIndex loads only)
 //
 // Placement is not serialized: it is recomputed on load from the stable
 // label-hash rule, which reproduces the saved placement exactly for the
-// same shard count (asserted by TestShardedSaveLoadPlacement).
+// same shard count (asserted by TestShardedSaveLoadPlacement). v2 shard
+// directories additionally have their placement verified on load, so a
+// shard file copied between topologies fails closed.
 const (
 	shardsFile     = "shards.bin"
 	shardsMagic    = "MDSSHRD1"
@@ -32,6 +36,12 @@ const (
 	shardDirFormat = "shard%03d"
 )
 
+// segmentSource is satisfied by nodes that expose their live segments
+// for direct columnar serialization (*core.Database).
+type segmentSource interface {
+	LiveSegments() []*core.Segmented
+}
+
 // IsSharded reports whether dir holds a sharded store.
 func IsSharded(dir string) bool {
 	_, err := os.Stat(filepath.Join(dir, shardsFile))
@@ -39,27 +49,54 @@ func IsSharded(dir string) bool {
 }
 
 // SaveSharded writes db's live sequences, configuration, and shard
-// topology into dir (created if needed, contents overwritten). Individual
+// topology into dir in the default format, atomically. Individual
 // shards may be empty; the database as a whole must not be.
 func SaveSharded(db *shard.ShardedDB, dir string) error {
+	return SaveShardedFormat(db, dir, DefaultFormat)
+}
+
+// SaveShardedFormat is SaveSharded with an explicit on-disk format.
+func SaveShardedFormat(db *shard.ShardedDB, dir string, f Format) error {
+	if !f.valid() {
+		return fmt.Errorf("store: unknown format %d", f)
+	}
 	if db.Len() == 0 {
 		return errors.New("store: refusing to save an empty database")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
 	n := db.Shards()
 	dim, cfg := db.Dim(), db.PartitionConfig()
-	for i := 0; i < n; i++ {
-		sub := filepath.Join(dir, fmt.Sprintf(shardDirFormat, i))
-		if err := saveDir(sub, dim, cfg, db.Shard(i).Sequences()); err != nil {
-			return fmt.Errorf("store: saving shard %d: %w", i, err)
+	return saveAtomic(dir, func(tmp string) error {
+		for i := 0; i < n; i++ {
+			sub := filepath.Join(tmp, fmt.Sprintf(shardDirFormat, i))
+			if err := os.MkdirAll(sub, 0o755); err != nil {
+				return err
+			}
+			if err := writeShardDir(sub, db.Shard(i), dim, cfg, f); err != nil {
+				return fmt.Errorf("store: saving shard %d: %w", i, err)
+			}
 		}
+		meta := make([]byte, shardsMetaLen)
+		copy(meta[0:8], shardsMagic)
+		binary.LittleEndian.PutUint16(meta[8:10], uint16(n))
+		return writeFileSynced(filepath.Join(tmp, shardsFile), meta, 0o644)
+	})
+}
+
+// writeShardDir serializes one shard node into sub. For v2 the node's
+// live segments are written directly when it exposes them; nodes that
+// do not (e.g. transactional wrappers) are re-partitioned first.
+func writeShardDir(sub string, node shard.Node, dim int, cfg core.PartitionConfig, f Format) error {
+	if f == FormatV1 {
+		return writeDirV1(sub, dim, cfg, node.Sequences())
 	}
-	meta := make([]byte, shardsMetaLen)
-	copy(meta[0:8], shardsMagic)
-	binary.LittleEndian.PutUint16(meta[8:10], uint16(n))
-	return os.WriteFile(filepath.Join(dir, shardsFile), meta, 0o644)
+	if ss, ok := node.(segmentSource); ok {
+		return writeDirV2(sub, dim, cfg, ss.LiveSegments())
+	}
+	segs, err := buildSegments(node.Sequences(), dim, cfg)
+	if err != nil {
+		return err
+	}
+	return writeDirV2(sub, dim, cfg, segs)
 }
 
 // readShardCount parses dir's shard-count record.
@@ -78,55 +115,66 @@ func readShardCount(dir string) (int, error) {
 	return n, nil
 }
 
-// LoadSharded reads a store directory and rebuilds a sharded database. A
-// plain single-node store (written by Save) loads as one shard, so old
-// directories keep working. With fileIndex set, each shard's index pages
-// live in a file under its shard directory; otherwise indexes are in
-// memory. Sequences re-place by the label-hash rule, which reproduces
-// the saved placement for an unchanged shard count.
+// LoadSharded reads a store directory and rebuilds a sharded database.
+// A plain single-node store (written by Save) loads as one shard, so
+// old directories keep working. With fileIndex set, each shard's index
+// pages live in a file under its shard directory; otherwise indexes are
+// in memory.
 func LoadSharded(dir string, fileIndex bool) (*shard.ShardedDB, error) {
-	if !IsSharded(dir) {
-		// Single-dir compatibility: the whole store becomes shard 0.
-		dim, cfg, seqs, err := loadDir(dir)
-		if err != nil {
+	return LoadShardedWith(dir, LoadOptions{FileIndex: fileIndex})
+}
+
+// LoadShardedWith is LoadSharded with full options. Each shard
+// directory's format is sniffed independently: v2 shards alias their
+// segment files and bulk-load their trees from the packed leaves; v1
+// shards re-partition through the parallel bulk path. Either way every
+// shard ingests its own saved group directly — placement is verified
+// against the label-hash rule rather than recomputed sequence by
+// sequence, and reproduces the saved layout for an unchanged shard
+// count.
+func LoadShardedWith(dir string, o LoadOptions) (*shard.ShardedDB, error) {
+	n := 1
+	sharded := IsSharded(dir)
+	if sharded {
+		var err error
+		if n, err = readShardCount(dir); err != nil {
 			return nil, err
 		}
-		if len(seqs) == 0 {
-			return nil, fmt.Errorf("%w: no sequences", ErrBadStore)
-		}
-		opts := core.Options{Dim: dim, Partition: cfg}
-		if fileIndex {
-			opts.Path = filepath.Join(dir, indexFile)
-			os.RemoveAll(opts.Path)
-			os.Remove(opts.Path + ".wal")
-		}
-		return buildSharded(opts, 1, seqs, fileIndex)
 	}
 
-	n, err := readShardCount(dir)
-	if err != nil {
-		return nil, err
-	}
-	var all []*core.Sequence
+	groups := make([][]*core.Segmented, n)
+	leaves := make([][][]rtree.Ref, n)
 	dim, cfg := 0, core.PartitionConfig{}
+	total := 0
 	for i := 0; i < n; i++ {
-		sub := filepath.Join(dir, fmt.Sprintf(shardDirFormat, i))
-		d, c, seqs, err := loadDir(sub)
+		sub := dir
+		if sharded {
+			sub = filepath.Join(dir, fmt.Sprintf(shardDirFormat, i))
+		}
+		d, c, segs, lv, treeM, err := loadDirCorpus(sub)
 		if err != nil {
-			return nil, fmt.Errorf("store: loading shard %d: %w", i, err)
+			if sharded {
+				return nil, fmt.Errorf("store: loading shard %d: %w", i, err)
+			}
+			return nil, err
 		}
 		if i == 0 {
 			dim, cfg = d, c
 		} else if d != dim || c != cfg {
 			return nil, fmt.Errorf("%w: shard %d config differs from shard 0", ErrBadStore, i)
 		}
-		all = append(all, seqs...)
+		if fanout, _, ferr := rtree.CapacityFor(0, d, 0); ferr != nil || fanout != treeM {
+			lv = nil // stored grouping targets a different fanout
+		}
+		groups[i], leaves[i] = segs, lv
+		total += len(segs)
 	}
-	if len(all) == 0 {
+	if total == 0 {
 		return nil, fmt.Errorf("%w: no sequences", ErrBadStore)
 	}
-	opts := core.Options{Dim: dim, Partition: cfg}
-	if fileIndex {
+
+	opts := core.Options{Dim: dim, Partition: cfg, QuantizedMBR: o.Quantized}
+	if o.FileIndex {
 		// shard.New derives "<path>.shard<i>" per shard.
 		opts.Path = filepath.Join(dir, indexFile)
 		for i := 0; i < n; i++ {
@@ -138,19 +186,15 @@ func LoadSharded(dir string, fileIndex bool) (*shard.ShardedDB, error) {
 			os.Remove(path + ".wal")
 		}
 	}
-	return buildSharded(opts, n, all, fileIndex)
-}
-
-func buildSharded(opts core.Options, n int, seqs []*core.Sequence, fileIndex bool) (*shard.ShardedDB, error) {
 	sdb, err := shard.New(opts, n)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := sdb.AddAll(seqs); err != nil {
+	if err := sdb.AddAllSegmented(groups, leaves); err != nil {
 		sdb.Close()
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadStore, err)
 	}
-	if fileIndex {
+	if o.FileIndex {
 		if err := sdb.Flush(); err != nil {
 			sdb.Close()
 			return nil, err

@@ -226,7 +226,7 @@ func TestSaveToUnwritableDirFails(t *testing.T) {
 func TestLoadRejectsCorruptSequences(t *testing.T) {
 	db, _ := buildDB(t, 3)
 	dir := filepath.Join(t.TempDir(), "db")
-	if err := Save(db, dir); err != nil {
+	if err := SaveFormat(db, dir, FormatV1); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(filepath.Join(dir, seqFile), []byte("garbage"), 0o644); err != nil {
@@ -234,6 +234,20 @@ func TestLoadRejectsCorruptSequences(t *testing.T) {
 	}
 	if _, err := Load(dir, false); !errors.Is(err, ErrBadStore) {
 		t.Errorf("corrupt sequences: %v", err)
+	}
+}
+
+func TestLoadRejectsCorruptSegments(t *testing.T) {
+	db, _ := buildDB(t, 3)
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := Save(db, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segFile), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, false); !errors.Is(err, ErrBadStore) {
+		t.Errorf("corrupt segments: %v", err)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pager"
 	"repro/internal/seqio"
+	"repro/internal/store"
 )
 
 // Durability directory layout:
@@ -31,6 +32,7 @@ const (
 	currentFile = "CURRENT"
 	snapPrefix  = "base-"
 	snapSeqFile = "sequences.mds"
+	snapSegFile = "segments.sg2"
 	snapMeta    = "meta.bin"
 )
 
@@ -217,7 +219,11 @@ func detach(g *core.Segmented) *core.Segmented {
 // promotes it via the CURRENT marker. Every file and both directory
 // entries are fsynced before promotion; a crash at any point leaves
 // either the old CURRENT (snapshot ignored, WAL replays) or the new one
-// (complete by construction).
+// (complete by construction). The sequence payload is written in
+// Options.SnapshotFormat: v2 serializes the base's already-partitioned
+// columnar segments (with the packed R*-tree leaf grouping), so the
+// next open aliases them back with no re-partitioning; v1 writes seqio
+// records. loadBase reads either.
 func (db *DB) persistSnapshot(lsn uint64) error {
 	name := snapName(lsn)
 	dir := filepath.Join(db.opts.Dir, name)
@@ -227,16 +233,35 @@ func (db *DB) persistSnapshot(lsn uint64) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	seqs := db.base.Sequences()
-	ids := make([]uint32, len(seqs))
-	for i, s := range seqs {
-		ids[i] = s.ID
+	format := db.opts.SnapshotFormat
+	if format == 0 {
+		format = store.DefaultFormat
 	}
-	if len(seqs) > 0 {
-		if err := writeFileSynced(filepath.Join(dir, snapSeqFile), func(f *os.File) error {
-			return seqio.Write(f, seqs)
-		}); err != nil {
-			return err
+	var ids []uint32
+	if format == store.FormatV2 {
+		segs := db.base.LiveSegments()
+		ids = make([]uint32, len(segs))
+		for i, g := range segs {
+			ids[i] = g.Seq.ID
+		}
+		if len(segs) > 0 {
+			if err := store.WriteSegments(filepath.Join(dir, snapSegFile),
+				db.base.Dim(), db.base.PartitionConfig(), segs); err != nil {
+				return err
+			}
+		}
+	} else {
+		seqs := db.base.Sequences()
+		ids = make([]uint32, len(seqs))
+		for i, s := range seqs {
+			ids[i] = s.ID
+		}
+		if len(seqs) > 0 {
+			if err := writeFileSynced(filepath.Join(dir, snapSeqFile), func(f *os.File) error {
+				return seqio.Write(f, seqs)
+			}); err != nil {
+				return err
+			}
 		}
 	}
 	meta := encodeSnapMeta(db.base.Dim(), db.base.PartitionConfig(), uint32(db.base.DirLen()), ids)
@@ -297,7 +322,7 @@ func loadBase(opts *Options) (*core.Database, uint64, error) {
 		if opts.Dim < 1 {
 			return nil, 0, errors.New("txn: Dim required to create a new database")
 		}
-		base, err := core.NewDatabase(core.Options{Dim: opts.Dim, Partition: opts.Partition})
+		base, err := core.NewDatabase(core.Options{Dim: opts.Dim, Partition: opts.Partition, QuantizedMBR: opts.QuantizedMBR})
 		if err != nil {
 			return nil, 0, err
 		}
@@ -323,6 +348,12 @@ func loadBase(opts *Options) (*core.Database, uint64, error) {
 	opts.Dim = dim
 	opts.Partition = cfg
 
+	if segPath := filepath.Join(dir, snapSegFile); len(ids) > 0 {
+		if _, statErr := os.Stat(segPath); statErr == nil {
+			return loadBaseV2(segPath, dim, cfg, opts.QuantizedMBR, nextID, ids, lsn)
+		}
+	}
+
 	var seqs []*core.Sequence
 	if len(ids) > 0 {
 		seqs, err = seqio.ReadFile(filepath.Join(dir, snapSeqFile))
@@ -333,7 +364,7 @@ func loadBase(opts *Options) (*core.Database, uint64, error) {
 			return nil, 0, fmt.Errorf("%w: %d sequences for %d ids", ErrBadDir, len(seqs), len(ids))
 		}
 	}
-	base, err := core.NewDatabase(core.Options{Dim: dim, Partition: cfg})
+	base, err := core.NewDatabase(core.Options{Dim: dim, Partition: cfg, QuantizedMBR: opts.QuantizedMBR})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -359,6 +390,63 @@ func loadBase(opts *Options) (*core.Database, uint64, error) {
 			if err != nil {
 				base.Close()
 				return nil, 0, err
+			}
+			if got != id {
+				base.Close()
+				return nil, 0, fmt.Errorf("%w: snapshot ids not ascending", ErrBadDir)
+			}
+			k++
+			continue
+		}
+		if _, err := base.AddTombstone(); err != nil {
+			base.Close()
+			return nil, 0, err
+		}
+	}
+	if k != len(ids) {
+		base.Close()
+		return nil, 0, fmt.Errorf("%w: snapshot ids exceed next id", ErrBadDir)
+	}
+	return base, lsn, nil
+}
+
+// loadBaseV2 rebuilds the base from a v2 (columnar segment) snapshot:
+// the file's already-partitioned segments are aliased straight into the
+// database — no re-partitioning — and, when the id layout has no holes,
+// the R*-tree is packed bottom-up from the stored leaf grouping. With
+// holes (removed ids), segments and tombstones are interleaved per slot
+// to reproduce the exact directory layout; the packed leaves are keyed
+// by dense position, so they do not apply there.
+func loadBaseV2(path string, dim int, cfg core.PartitionConfig, quant bool, nextID uint32, ids []uint32, lsn uint64) (*core.Database, uint64, error) {
+	c, err := store.ReadSegments(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadDir, err)
+	}
+	if c.Dim != dim || c.Config != cfg || len(c.Segs) != len(ids) {
+		return nil, 0, fmt.Errorf("%w: snapshot segments disagree with meta", ErrBadDir)
+	}
+	base, err := core.NewDatabase(core.Options{Dim: dim, Partition: cfg, QuantizedMBR: quant})
+	if err != nil {
+		return nil, 0, err
+	}
+	if uint32(len(ids)) == nextID {
+		leaves := c.Leaves
+		if c.TreeM != base.IndexFanout() {
+			leaves = nil
+		}
+		if _, err := base.AddAllSegmented(c.Segs, leaves); err != nil {
+			base.Close()
+			return nil, 0, fmt.Errorf("%w: %v", ErrBadDir, err)
+		}
+		return base, lsn, nil
+	}
+	k := 0
+	for id := uint32(0); id < nextID; id++ {
+		if k < len(ids) && ids[k] == id {
+			got, err := base.AddSegmented(c.Segs[k])
+			if err != nil {
+				base.Close()
+				return nil, 0, fmt.Errorf("%w: %v", ErrBadDir, err)
 			}
 			if got != id {
 				base.Close()

@@ -1,0 +1,120 @@
+package txn
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// openFmt opens a durable DB with the given snapshot format and
+// quantized-prefilter setting.
+func openFmt(t *testing.T, dir string, f store.Format, quant bool) *DB {
+	t.Helper()
+	db, err := Open(Options{Dir: dir, Dim: 3, NoFsync: true, SnapshotFormat: f, QuantizedMBR: quant})
+	if err != nil {
+		t.Fatalf("Open(%s, format %d): %v", dir, f, err)
+	}
+	return db
+}
+
+// TestSnapshotFormatsRoundTrip checkpoints a corpus with holes (removed
+// ids) under each snapshot format and verifies a reopen — under either
+// format setting, with and without the quantized prefilter — restores a
+// byte-identical database.
+func TestSnapshotFormatsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	seqs := make([]*core.Sequence, 12)
+	for i := range seqs {
+		seqs[i] = randSeq(rng, 3, 30+rng.Intn(40))
+	}
+	queries := []*core.Sequence{
+		{Points: seqs[3].Points[2:18]},
+		{Points: seqs[9].Points[5:25]},
+	}
+
+	for _, f := range []store.Format{store.FormatV1, store.FormatV2} {
+		dir := t.TempDir()
+		db := openFmt(t, dir, f, false)
+		ids, err := db.AddAll(seqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Punch holes: some removed before the checkpoint (fold as
+		// tombstones), so the snapshot id list has gaps.
+		for _, victim := range []int{1, 4, 10} {
+			if err := db.Remove(ids[victim]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Fatalf("format %d: checkpoint: %v", f, err)
+		}
+		want := fingerprint(t, db, queries, 0.9)
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// The expected payload file must be in the promoted snapshot.
+		cur, err := os.ReadFile(filepath.Join(dir, currentFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := filepath.Join(dir, strings.TrimSpace(string(cur)))
+		payload := snapSeqFile
+		if f == store.FormatV2 {
+			payload = snapSegFile
+		}
+		if _, err := os.Stat(filepath.Join(snap, payload)); err != nil {
+			t.Fatalf("format %d: snapshot payload %s missing: %v", f, payload, err)
+		}
+
+		// Reopen under every format/quantization setting: the written
+		// snapshot decides the read path, the option only future writes.
+		for _, reopen := range []store.Format{store.FormatV1, store.FormatV2} {
+			for _, quant := range []bool{false, true} {
+				db2 := openFmt(t, dir, reopen, quant)
+				if got := fingerprint(t, db2, queries, 0.9); got != want {
+					t.Fatalf("format %d reopened as %d (quant=%v): fingerprint drifted\nwant %s\ngot  %s",
+						f, reopen, quant, want, got)
+				}
+				if err := db2.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotFormatV2NoHolesUsesPackedLeaves is a shape check: a
+// checkpoint with no removals reloads through the packed-leaf bulk path
+// and still fingerprints identically.
+func TestSnapshotFormatV2NoHolesUsesPackedLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	dir := t.TempDir()
+	db := openFmt(t, dir, store.FormatV2, false)
+	var seqs []*core.Sequence
+	for i := 0; i < 9; i++ {
+		seqs = append(seqs, randSeq(rng, 3, 40))
+	}
+	if _, err := db.AddAll(seqs); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	queries := []*core.Sequence{{Points: seqs[2].Points[4:20]}}
+	want := fingerprint(t, db, queries, 0.9)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openFmt(t, dir, store.FormatV2, false)
+	defer db2.Close()
+	if got := fingerprint(t, db2, queries, 0.9); got != want {
+		t.Fatalf("fingerprint drifted\nwant %s\ngot  %s", want, got)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/obs"
 	"repro/internal/pager"
+	"repro/internal/store"
 )
 
 // Options configures a transactional database.
@@ -64,6 +65,15 @@ type Options struct {
 	// that many committed WAL records (0 = checkpoint only on demand).
 	// It bounds both recovery replay time and the per-query delta scan.
 	CheckpointEvery int
+	// SnapshotFormat selects the base-snapshot representation checkpoints
+	// write (store.FormatV1 or store.FormatV2; 0 = store.DefaultFormat).
+	// Either format is always readable on open regardless of this
+	// setting, so it can be changed between restarts.
+	SnapshotFormat store.Format
+	// QuantizedMBR enables the quantized-MBR phase-3 prefilter on the
+	// base database (core.Options.QuantizedMBR). Results are
+	// bit-identical either way; the delta scan path is always exact.
+	QuantizedMBR bool
 }
 
 // DB is a transactional database. It satisfies the same serving surface
